@@ -1,0 +1,93 @@
+// Consistency-checker cost (google-benchmark): causal checking is
+// polynomial thanks to the distinct-values assumption; serializability
+// search is exponential in the worst case but tiny histories dominate in
+// practice.
+#include <benchmark/benchmark.h>
+
+#include "consistency/checkers.h"
+#include "util/rng.h"
+
+using namespace discs;
+using cons::check_causal_consistency;
+using cons::check_serializability;
+using hist::History;
+using hist::TxRecord;
+
+namespace {
+
+/// A random but CONSISTENT history: per-object last-write bookkeeping
+/// yields reads that always have a legal explanation.
+History random_history(std::size_t txs, std::size_t clients,
+                       std::size_t objects, std::uint64_t seed) {
+  Rng rng(seed);
+  History h;
+  std::vector<ValueId> last(objects);
+  for (std::size_t o = 0; o < objects; ++o) {
+    last[o] = ValueId(1000 + o);
+    h.set_initial(ObjectId(o), last[o]);
+  }
+  std::uint64_t next_value = 1;
+  for (std::size_t i = 0; i < txs; ++i) {
+    TxRecord t;
+    t.id = TxId(i + 1);
+    t.client = ProcessId(rng.below(clients));
+    t.invoked = t.completed = true;
+    t.invoke_seq = 2 * i;
+    t.complete_seq = 2 * i + 1;
+    std::size_t obj = rng.below(objects);
+    if (rng.chance(0.4)) {
+      ValueId v(next_value++);
+      t.writes.push_back({ObjectId(obj), v, true});
+      last[obj] = v;
+    } else {
+      t.reads.push_back({ObjectId(obj), last[obj], true});
+      std::size_t obj2 = rng.below(objects);
+      if (obj2 != obj) t.reads.push_back({ObjectId(obj2), last[obj2], true});
+    }
+    h.add(std::move(t));
+  }
+  return h;
+}
+
+void BM_CausalCheck(benchmark::State& state) {
+  auto h = random_history(static_cast<std::size_t>(state.range(0)), 8, 16,
+                          42);
+  for (auto _ : state) {
+    auto r = check_causal_consistency(h);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CausalCheck)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void BM_SerializabilityCheck(benchmark::State& state) {
+  auto h = random_history(static_cast<std::size_t>(state.range(0)), 4, 8,
+                          43);
+  for (auto _ : state) {
+    auto r = check_serializability(h, 1 << 18);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SerializabilityCheck)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_ReadAtomicityCheck(benchmark::State& state) {
+  auto h = random_history(static_cast<std::size_t>(state.range(0)), 8, 16,
+                          44);
+  for (auto _ : state) {
+    auto r = cons::check_read_atomicity(h);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ReadAtomicityCheck)->RangeMultiplier(2)->Range(16, 256);
+
+void BM_SessionCheck(benchmark::State& state) {
+  auto h = random_history(static_cast<std::size_t>(state.range(0)), 8, 16,
+                          45);
+  for (auto _ : state) {
+    auto r = cons::check_session_guarantees(h);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SessionCheck)->RangeMultiplier(2)->Range(16, 256);
+
+}  // namespace

@@ -1,0 +1,37 @@
+// The Lemma 3 induction, step by step, against every protocol.
+//
+// For each protocol the driver reports which premise of Theorem 1 fails —
+// the partition of the design space the paper's Section 3.4 describes —
+// and for the strawman that keeps all premises except minimal progress
+// (stubborn), the per-step messages ms_1, ms_2, ... of the troublesome
+// execution alpha.
+#include <iostream>
+
+#include "impossibility/induction.h"
+#include "proto/registry.h"
+#include "util/fmt.h"
+
+using namespace discs;
+
+int main() {
+  proto::ClusterConfig config;
+  config.num_servers = 2;
+  config.num_clients = 4;
+  config.num_objects = 2;
+
+  std::cout << "=== Lemma 3 induction driver, K = 10 ===\n\n";
+  for (const auto& protocol : proto::all_protocols()) {
+    imposs::InductionOptions options;
+    options.max_steps = 10;
+    auto report = imposs::run_induction(*protocol, config, options);
+    std::cout << report.summary() << "\n";
+  }
+
+  std::cout << "Interpretation: TROUBLESOME-EXECUTION materializes the\n"
+               "paper's infinite execution alpha (claim 1: one more\n"
+               "message per step; claim 2: values never visible);\n"
+               "CAUSAL-VIOLATION materializes the gamma/delta\n"
+               "contradiction; the other outcomes certify which premise\n"
+               "of the theorem the protocol does not satisfy.\n";
+  return 0;
+}

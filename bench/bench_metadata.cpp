@@ -1,0 +1,94 @@
+// The N+O+W metadata-cost experiment (Section 3.4: the fat-metadata COPS
+// variant "requires to store and communicate a prohibitively big amount of
+// data").
+//
+// We grow a causal dependency chain of length L (each write depends on
+// everything before it) and measure, per protocol, the bytes a read reply
+// carries and the bytes a write ships.  FatCOPS' costs grow with L because
+// it embeds dependency VALUES; reference-based protocols stay flat.
+#include <iostream>
+
+#include "impossibility/properties.h"
+#include "proto/common/client.h"
+#include "proto/registry.h"
+#include "sim/schedule.h"
+#include "util/fmt.h"
+
+using namespace discs;
+using proto::ClientBase;
+
+int main() {
+  std::cout << "=== Metadata cost vs dependency-chain length ===\n\n";
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"protocol", "chain L", "write bytes", "write msgs",
+                  "read reply bytes", "values/reply"});
+
+  for (const std::string name :
+       {"fatcops", "cops-snow", "wren", "eiger"}) {
+    auto protocol = proto::protocol_by_name(name);
+    for (std::size_t chain : {1u, 4u, 8u, 16u}) {
+      sim::Simulation sim;
+      proto::IdSource ids;
+      proto::ClusterConfig ccfg;
+      ccfg.num_servers = 4;
+      ccfg.num_clients = 4;
+      ccfg.num_objects = 20;
+      proto::Cluster cluster = protocol->build(sim, ccfg, ids);
+      ProcessId writer = cluster.clients[0];
+      ProcessId reader = cluster.clients[1];
+
+      auto run_tx = [&](ProcessId client, const proto::TxSpec& spec) {
+        sim.process_as<ClientBase>(client).invoke(spec);
+        sim::run_fair(sim, {},
+                      [&](const sim::Simulation& s) {
+                        return s.process_as<const ClientBase>(client)
+                            .has_completed(spec.id);
+                      },
+                      100000);
+        return sim.process_as<ClientBase>(client).has_completed(spec.id);
+      };
+
+      // Build the chain: read then write successive objects so each write
+      // causally depends on every earlier one.
+      for (std::size_t i = 0; i + 1 < chain; ++i) {
+        run_tx(writer, ids.read_tx({cluster.view.objects[i]}));
+        run_tx(writer,
+               protocol->supports_write_tx() && i % 2 == 0
+                   ? ids.write_tx({cluster.view.objects[i],
+                                   cluster.view.objects[i + 1]})
+                   : ids.write_one(cluster.view.objects[i + 1]));
+      }
+
+      // The measured write: last object in the chain.
+      ObjectId target = cluster.view.objects[chain % cluster.view.objects
+                                                         .size()];
+      std::size_t w_begin = sim.trace().size();
+      proto::TxSpec w = ids.write_one(target);
+      if (!run_tx(writer, w)) continue;
+      auto w_audit = imposs::audit_write(sim.trace(), w_begin,
+                                         sim.trace().size(), w.id, writer,
+                                         cluster.view);
+
+      sim::run_to_quiescence(sim, {}, 20000);
+
+      std::size_t r_begin = sim.trace().size();
+      proto::TxSpec rot = ids.read_tx({target});
+      if (!run_tx(reader, rot)) continue;
+      auto r_audit = imposs::audit_rot(sim.trace(), r_begin,
+                                       sim.trace().size(), rot.id, reader,
+                                       cluster.view);
+
+      rows.push_back({name, cat(chain), cat(w_audit.bytes),
+                      cat(w_audit.messages), cat(r_audit.reply_bytes),
+                      cat(r_audit.max_values_per_message)});
+    }
+  }
+
+  std::cout << ascii_table(rows) << "\n";
+  std::cout << "Shape: fatcops write/read bytes grow linearly with the\n"
+               "dependency chain (it ships values); cops-snow pays\n"
+               "old-reader query messages on the write path instead;\n"
+               "wren/eiger stay flat (references + stabilization).\n";
+  return 0;
+}

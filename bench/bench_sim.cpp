@@ -1,0 +1,92 @@
+// Simulator substrate throughput (google-benchmark): event application
+// rate, configuration snapshot cost, and workload end-to-end rate per
+// protocol.  These bound how much adversarial exploration (fuzz seeds,
+// induction steps) a given time budget buys.
+#include <benchmark/benchmark.h>
+
+#include "proto/common/client.h"
+#include "proto/registry.h"
+#include "sim/schedule.h"
+#include "workload/workload.h"
+
+using namespace discs;
+using proto::ClientBase;
+
+namespace {
+
+void BM_WorkloadEvents(benchmark::State& state, const std::string& name) {
+  auto protocol = proto::protocol_by_name(name);
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = 4;
+  ccfg.num_clients = 6;
+  ccfg.num_objects = 8;
+
+  std::size_t events = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    proto::IdSource ids;
+    proto::Cluster cluster = protocol->build(sim, ccfg, ids);
+    wl::WorkloadConfig wcfg;
+    wcfg.num_txs = 50;
+    wcfg.seed = 9;
+    auto result =
+        wl::run_workload_sequential(sim, *protocol, cluster, ids, wcfg);
+    benchmark::DoNotOptimize(result);
+    events += sim.now();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_Snapshot(benchmark::State& state) {
+  auto protocol = proto::protocol_by_name("wren");
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = 4;
+  ccfg.num_clients = 6;
+  ccfg.num_objects = 8;
+  sim::Simulation sim;
+  proto::IdSource ids;
+  proto::Cluster cluster = protocol->build(sim, ccfg, ids);
+  wl::WorkloadConfig wcfg;
+  wcfg.num_txs = static_cast<std::size_t>(state.range(0));
+  wl::run_workload_sequential(sim, *protocol, cluster, ids, wcfg);
+
+  for (auto _ : state) {
+    sim::Simulation copy = sim;
+    benchmark::DoNotOptimize(copy.now());
+  }
+}
+BENCHMARK(BM_Snapshot)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_FairSchedulerSteps(benchmark::State& state) {
+  auto protocol = proto::protocol_by_name("cops-snow");
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = 2;
+  ccfg.num_clients = 4;
+  ccfg.num_objects = 2;
+  sim::Simulation base;
+  proto::IdSource ids;
+  proto::Cluster cluster = protocol->build(base, ccfg, ids);
+
+  for (auto _ : state) {
+    sim::Simulation sim = base;
+    auto spec = ids.read_tx(cluster.view.objects);
+    sim.process_as<ClientBase>(cluster.clients[0]).invoke(spec);
+    sim::run_fair(sim, {},
+                  [&](const sim::Simulation& s) {
+                    return s.process_as<const ClientBase>(cluster.clients[0])
+                        .has_completed(spec.id);
+                  },
+                  10000);
+    benchmark::DoNotOptimize(sim.now());
+  }
+}
+BENCHMARK(BM_FairSchedulerSteps);
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_WorkloadEvents, naivefast, std::string("naivefast"));
+BENCHMARK_CAPTURE(BM_WorkloadEvents, cops_snow, std::string("cops-snow"));
+BENCHMARK_CAPTURE(BM_WorkloadEvents, wren, std::string("wren"));
+BENCHMARK_CAPTURE(BM_WorkloadEvents, eiger, std::string("eiger"));
+BENCHMARK_CAPTURE(BM_WorkloadEvents, spanner, std::string("spanner"));

@@ -1,0 +1,91 @@
+// Regenerates Table 1 of the paper from MEASUREMENT.
+//
+// The paper's Table 1 characterizes existing systems by the rounds (R) and
+// values-per-read (V) of their read-only transactions, whether reads are
+// nonblocking (N), whether multi-object write transactions are supported
+// (WTX), and the consistency level.  Here every cell is derived from
+// executed traces: a benign sequential workload, adversarially randomized
+// concurrent workloads, and two targeted worst-case scenarios; the
+// consistency column is verified by the history checkers rather than
+// asserted.
+//
+// Paper rows reproduced (one implementation per design point):
+//   COPS         <=2 <=2 yes no   causal
+//   GentleRain   2   1   no  no   causal            (Orbe/POCC-like)
+//   COPS-SNOW    1   1   yes no   causal            <- the N+O+V corner
+//   Eiger        <=3 <=2 yes yes  causal
+//   Wren         2   1   yes yes  causal            <- the N+V+W corner
+//   FatCOPS      1   >1  yes yes  causal            <- the N+O+W corner
+//   Spanner      1   1   no  yes  strict serializable <- the O+V+W corner
+// plus the two pedagogical strawmen showing what "all four" costs.
+#include <iostream>
+
+#include "impossibility/auditor.h"
+#include "proto/registry.h"
+#include "util/fmt.h"
+#include "workload/workload.h"
+
+using namespace discs;
+
+namespace {
+
+/// Verifies the claimed consistency level on a concurrent workload.
+std::string verify_consistency(const proto::Protocol& proto,
+                               const std::string& claim) {
+  sim::Simulation sim;
+  proto::IdSource ids;
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = 2;
+  ccfg.num_clients = 4;
+  ccfg.num_objects = 2;
+  proto::Cluster cluster = proto.build(sim, ccfg, ids);
+
+  wl::WorkloadConfig wcfg;
+  wcfg.num_txs = 30;
+  wcfg.seed = 1234;
+  wcfg.write_fraction = 0.4;
+  auto result = wl::run_workload_concurrent(sim, proto, cluster, ids, wcfg);
+
+  if (claim.find("strict") != std::string::npos) {
+    auto r = cons::check_strict_serializability(result.history);
+    return "strict-serializable:" + cons::verdict_str(r.verdict);
+  }
+  if (claim.find("read-atomic") != std::string::npos) {
+    auto r = cons::check_read_atomicity(result.history);
+    return "read-atomic:" + cons::verdict_str(r.verdict);
+  }
+  auto r = cons::check_causal_consistency(result.history);
+  return "causal:" + cons::verdict_str(r.verdict);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table 1 (measured): fast-ROT sub-properties, write-tx "
+               "support, verified consistency ===\n\n";
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"system", "R", "V", "N", "WTX", "consistency (verified)",
+                  "theorem outcome"});
+
+  for (const auto& protocol : proto::all_protocols()) {
+    imposs::AuditConfig cfg;
+    cfg.workload_txs = 40;
+    auto audit = imposs::audit_protocol(*protocol, cfg);
+    std::string consistency =
+        verify_consistency(*protocol, protocol->consistency_claim());
+    rows.push_back({audit.name, cat("<=", audit.max_rounds),
+                    cat("<=", audit.max_values_per_object),
+                    audit.nonblocking ? "yes" : "no",
+                    audit.accepts_write_tx ? "yes" : "no", consistency,
+                    audit.induction.outcome_str()});
+  }
+  std::cout << ascii_table(rows) << "\n";
+
+  std::cout << "Reading the table as the paper does: every row satisfying\n"
+               "WTX=yes fails at least one of {one-round, nonblocking,\n"
+               "one-value}; every row with fast reads (R=1, V=1, N=yes)\n"
+               "has WTX=no — except the strawmen, whose consistency or\n"
+               "progress verdicts expose the cheat.  (Theorem 1.)\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// A tour of the design space around the impossible point: audits every
+// implemented protocol and prints its measured Table-1 row.
+#include <iostream>
+
+#include "impossibility/auditor.h"
+#include "proto/registry.h"
+#include "util/fmt.h"
+
+using namespace discs;
+
+int main() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"protocol", "R", "V", "N", "WTX", "claimed consistency",
+                  "causal check", "auditor outcome"});
+
+  for (const auto& protocol : proto::all_protocols()) {
+    imposs::AuditConfig cfg;
+    cfg.workload_txs = 30;
+    auto audit = imposs::audit_protocol(*protocol, cfg);
+    rows.push_back({audit.name, cat(audit.max_rounds),
+                    cat(audit.max_values_per_object),
+                    audit.nonblocking ? "yes" : "no",
+                    audit.accepts_write_tx ? "yes" : "no",
+                    audit.consistency_claim,
+                    cons::verdict_str(audit.causal_verdict),
+                    audit.induction.outcome_str()});
+  }
+
+  std::cout << ascii_table(rows);
+  std::cout << "\nEach protocol occupies one achievable corner; none "
+               "achieves W together with fast (N+O+V) reads — Theorem 1 "
+               "in action.\n";
+  return 0;
+}

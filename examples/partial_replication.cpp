@@ -1,0 +1,48 @@
+// Appendix A: the impossibility result under many servers and partial
+// replication.
+//
+// The general theorem (Theorem 2) allows any number of servers and
+// overlapping object placement, as long as no server stores everything.
+// This example runs the generalized induction driver across cluster sizes
+// and replication factors against both strawmen.
+#include <iostream>
+
+#include "impossibility/induction.h"
+#include "proto/registry.h"
+#include "util/fmt.h"
+
+using namespace discs;
+
+int main() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"protocol", "servers", "objects", "replication",
+                  "outcome", "ms_k messages"});
+
+  for (const std::string name : {"naivefast", "stubborn"}) {
+    auto protocol = proto::protocol_by_name(name);
+    for (std::size_t servers : {2, 3, 4, 6}) {
+      for (std::size_t repl : {std::size_t{1}, std::size_t{2}}) {
+        if (repl >= servers) continue;  // no server may store everything
+        proto::ClusterConfig cfg;
+        cfg.num_servers = servers;
+        cfg.num_objects = servers;  // one primary object per server
+        cfg.num_clients = 4;
+        cfg.replication = repl;
+
+        imposs::InductionOptions options;
+        options.max_steps = 4;
+        auto report = imposs::run_induction(*protocol, cfg, options);
+        rows.push_back({name, cat(servers), cat(cfg.num_objects), cat(repl),
+                        report.outcome_str(), cat(report.steps.size())});
+      }
+    }
+  }
+
+  std::cout << ascii_table(rows);
+  std::cout << "\nThe outcome is invariant in the cluster shape: the "
+               "fast-and-write-transactional strawman violates causal "
+               "consistency, and the never-visible one materializes the "
+               "infinite execution — with partial replication too "
+               "(Theorem 2).\n";
+  return 0;
+}

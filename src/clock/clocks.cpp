@@ -1,0 +1,85 @@
+#include "clock/clocks.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+#include "util/fmt.h"
+
+namespace discs::clk {
+
+void VectorClock::merge(const VectorClock& other) {
+  DISCS_CHECK_MSG(v_.size() == other.v_.size(),
+                  "vector clock dimension mismatch");
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    v_[i] = std::max(v_[i], other.v_[i]);
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  DISCS_CHECK_MSG(v_.size() == other.v_.size(),
+                  "vector clock dimension mismatch");
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    if (v_[i] > other.v_[i]) return false;
+  return true;
+}
+
+std::string VectorClock::str() const {
+  return cat("[", join(v_, ","), "]");
+}
+
+std::string HlcTimestamp::str() const {
+  return cat(physical, ".", logical);
+}
+
+HlcTimestamp just_below(HlcTimestamp ts) {
+  if (ts.logical > 0) return {ts.physical, ts.logical - 1};
+  if (ts.physical > 0)
+    return {ts.physical - 1, std::numeric_limits<std::uint64_t>::max()};
+  return {0, 0};
+}
+
+HlcTimestamp HybridLogicalClock::tick(std::uint64_t pt) {
+  if (pt > now_.physical) {
+    now_ = {pt, 0};
+  } else {
+    ++now_.logical;
+  }
+  return now_;
+}
+
+HlcTimestamp HybridLogicalClock::observe(HlcTimestamp remote,
+                                         std::uint64_t pt) {
+  std::uint64_t max_phys = std::max({pt, now_.physical, remote.physical});
+  if (max_phys == pt && pt > now_.physical && pt > remote.physical) {
+    now_ = {pt, 0};
+  } else if (max_phys == now_.physical && now_.physical == remote.physical) {
+    now_.logical = std::max(now_.logical, remote.logical) + 1;
+  } else if (max_phys == now_.physical) {
+    ++now_.logical;
+  } else {
+    now_ = {remote.physical, remote.logical + 1};
+  }
+  return now_;
+}
+
+TrueTimeSim::TrueTimeSim(std::uint64_t epsilon, std::int64_t skew)
+    : epsilon_(epsilon), skew_(skew) {
+  DISCS_CHECK_MSG(
+      skew <= static_cast<std::int64_t>(epsilon) &&
+          -skew <= static_cast<std::int64_t>(epsilon),
+      "per-process skew must stay within the uncertainty bound");
+}
+
+TtInterval TrueTimeSim::now(std::uint64_t tick) const {
+  // The process's local reading is tick + skew; the interval around it has
+  // half-width epsilon, so the true tick is always inside.
+  std::int64_t local = static_cast<std::int64_t>(tick) + skew_;
+  std::int64_t lo = local - static_cast<std::int64_t>(epsilon_);
+  std::int64_t hi = local + static_cast<std::int64_t>(epsilon_);
+  TtInterval iv;
+  iv.earliest = lo < 0 ? 0 : static_cast<std::uint64_t>(lo);
+  iv.latest = hi < 0 ? 0 : static_cast<std::uint64_t>(hi);
+  return iv;
+}
+
+}  // namespace discs::clk

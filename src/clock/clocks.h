@@ -1,0 +1,126 @@
+// Logical and simulated-physical clocks used by the protocol substrates.
+//
+// The paper's model is fully asynchronous (no global clock); logical clocks
+// here are ordinary protocol state carried in messages.  TrueTimeSim is the
+// documented substitution for Spanner's GPS/atomic-clock TrueTime: it
+// derives a bounded-uncertainty interval from the simulation's virtual time,
+// preserving the only property the commit-wait protocol relies on (bounded
+// drift), per DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace discs::clk {
+
+/// Lamport scalar clock.
+class LamportClock {
+ public:
+  std::uint64_t tick() { return ++time_; }
+  std::uint64_t observe(std::uint64_t remote) {
+    if (remote > time_) time_ = remote;
+    return ++time_;
+  }
+  std::uint64_t peek() const { return time_; }
+
+  friend bool operator==(const LamportClock&, const LamportClock&) = default;
+
+ private:
+  std::uint64_t time_ = 0;
+};
+
+/// Fixed-width vector clock (one entry per tracked process/partition).
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : v_(n, 0) {}
+
+  std::size_t size() const { return v_.size(); }
+  std::uint64_t at(std::size_t i) const { return v_[i]; }
+  void set(std::size_t i, std::uint64_t t) { v_[i] = t; }
+  void advance(std::size_t i) { ++v_[i]; }
+
+  /// Pointwise maximum (join).
+  void merge(const VectorClock& other);
+
+  /// True iff this <= other pointwise.
+  bool leq(const VectorClock& other) const;
+  /// True iff this <= other and this != other.
+  bool lt(const VectorClock& other) const {
+    return leq(other) && v_ != other.v_;
+  }
+  /// Neither <= holds.
+  bool concurrent(const VectorClock& other) const {
+    return !leq(other) && !other.leq(*this);
+  }
+
+  std::string str() const;
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<std::uint64_t> v_;
+};
+
+/// Hybrid logical clock (Kulkarni et al.): pairs a physical component with a
+/// logical tiebreaker.  Wren-style protocols timestamp transactions with HLC
+/// values so that snapshot cutoffs reflect causality.
+struct HlcTimestamp {
+  std::uint64_t physical = 0;
+  std::uint64_t logical = 0;
+
+  friend bool operator==(const HlcTimestamp&, const HlcTimestamp&) = default;
+  friend auto operator<=>(const HlcTimestamp&, const HlcTimestamp&) = default;
+
+  std::string str() const;
+};
+
+/// The largest timestamp strictly smaller than `ts` (used for "stable up to
+/// but excluding the earliest pending proposal").
+HlcTimestamp just_below(HlcTimestamp ts);
+
+class HybridLogicalClock {
+ public:
+  /// Local event at physical time `pt`.
+  HlcTimestamp tick(std::uint64_t pt);
+  /// Receipt of a message stamped `remote`, at physical time `pt`.
+  HlcTimestamp observe(HlcTimestamp remote, std::uint64_t pt);
+  HlcTimestamp peek() const { return now_; }
+
+  friend bool operator==(const HybridLogicalClock&,
+                         const HybridLogicalClock&) = default;
+
+ private:
+  HlcTimestamp now_;
+};
+
+/// TrueTime interval: the real instant lies within [earliest, latest].
+struct TtInterval {
+  std::uint64_t earliest = 0;
+  std::uint64_t latest = 0;
+};
+
+/// Simulated TrueTime.  now(tick) returns an interval of half-width epsilon
+/// around a per-process skewed reading of the virtual time `tick`.  The
+/// guarantee mirrors Spanner's: the true instant (here: `tick`) is always
+/// inside the interval.
+class TrueTimeSim {
+ public:
+  TrueTimeSim() = default;
+  /// `skew` in [-epsilon, +epsilon] is this process's constant clock offset.
+  TrueTimeSim(std::uint64_t epsilon, std::int64_t skew);
+
+  TtInterval now(std::uint64_t tick) const;
+  std::uint64_t epsilon() const { return epsilon_; }
+
+  friend bool operator==(const TrueTimeSim&, const TrueTimeSim&) = default;
+
+ private:
+  std::uint64_t epsilon_ = 0;
+  std::int64_t skew_ = 0;
+};
+
+}  // namespace discs::clk

@@ -1,0 +1,145 @@
+#include <sstream>
+
+#include "consistency/checkers.h"
+#include "util/fmt.h"
+
+namespace discs::cons {
+
+namespace {
+using discs::hist::ReadOp;
+
+std::string tx_name(const History& h, std::size_t node) {
+  if (node == CausalGraph::kInitNode) return "T_init";
+  return to_string(h.at(node - 1).id);
+}
+}  // namespace
+
+CausalGraph::CausalGraph(const History& h)
+    : history(h), order(h.size() + 1) {
+  // Init transaction precedes everything.
+  for (std::size_t i = 0; i < h.size(); ++i) order.add(kInitNode, node_of(i));
+
+  // Program order: consecutive transactions of the same client.
+  for (auto client : h.clients()) {
+    auto idx = h.client_order(client);
+    for (std::size_t k = 1; k < idx.size(); ++k)
+      order.add(node_of(idx[k - 1]), node_of(idx[k]));
+  }
+
+  // Reads-from: the writer of each returned value precedes the reader.
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    for (const auto& r : h.at(i).reads) {
+      if (!r.responded) continue;
+      auto w = h.writer_of(r.value);
+      if (!w) continue;  // flagged separately by check_reads_valid
+      std::size_t wn = node_of_writer(*w);
+      if (wn != node_of(i)) order.add(wn, node_of(i));
+    }
+  }
+
+  order.close();
+}
+
+CheckResult check_reads_valid(const History& h) {
+  CheckResult result;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const TxRecord& t = h.at(i);
+    for (const auto& r : t.reads) {
+      if (!r.responded) continue;
+      if (!h.writer_of(r.value)) {
+        result.flag("garbage-read",
+                    cat(t.describe(), " returned ", to_string(r.value),
+                        " for ", to_string(r.object),
+                        " but no transaction wrote that value"));
+        continue;
+      }
+      // The value must have been written to (or be initial for) this object.
+      bool matches_object = false;
+      auto init = h.initial_of(r.object);
+      if (init && *init == r.value) matches_object = true;
+      for (std::size_t j = 0; j < h.size() && !matches_object; ++j) {
+        auto v = h.at(j).value_written(r.object);
+        if (v && *v == r.value) matches_object = true;
+      }
+      if (!matches_object)
+        result.flag("wrong-object-read",
+                    cat(t.describe(), " returned ", to_string(r.value),
+                        " for ", to_string(r.object),
+                        " but that value was written to a different object"));
+    }
+  }
+  return result;
+}
+
+CheckResult check_causal_consistency(const History& h) {
+  CheckResult result = check_reads_valid(h);
+
+  CausalGraph g(h);
+
+  // (a) The causal relation must be a partial order (acyclic).
+  if (!g.order.acyclic()) {
+    std::ostringstream os;
+    os << "causality cycle through {";
+    bool first = true;
+    for (auto n : g.order.cycle_members()) {
+      os << (first ? "" : ", ") << tx_name(h, n);
+      first = false;
+    }
+    os << "}";
+    result.flag("causal-cycle", os.str());
+  }
+
+  // (b) No intervening write between a read's dictating write and the read,
+  // along the causality order.  This is the Lemma 1 condition: if T reads
+  // v for X from W, no T' with W <c T' <c T may also write X.
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const TxRecord& t = h.at(i);
+    std::size_t tn = CausalGraph::node_of(i);
+    for (const auto& r : t.reads) {
+      if (!r.responded) continue;
+
+      // Own-write rule (legality condition 1): a transaction that writes X
+      // and reads X must observe its own value.
+      if (auto own = t.value_written(r.object)) {
+        if (r.value != *own)
+          result.flag("own-write-missed",
+                      cat(t.describe(), " read ", to_string(r.value), " for ",
+                          to_string(r.object),
+                          " instead of its own written value ",
+                          to_string(*own)));
+        continue;
+      }
+
+      auto w = h.writer_of(r.value);
+      if (!w) continue;
+      std::size_t wn = g.node_of_writer(*w);
+
+      // The dictating write must not causally follow the reader.
+      if (g.before(tn, wn)) {
+        result.flag("read-from-future",
+                    cat(t.describe(), " reads ", to_string(r.value),
+                        " whose writer ", tx_name(h, wn),
+                        " causally follows the reader"));
+        continue;
+      }
+
+      for (std::size_t j = 0; j < h.size(); ++j) {
+        std::size_t jn = CausalGraph::node_of(j);
+        if (jn == wn || jn == tn) continue;
+        if (!h.at(j).writes_object(r.object)) continue;
+        if (g.before(wn, jn) && g.before(jn, tn)) {
+          result.flag(
+              "intervening-write",
+              cat(t.describe(), " reads ", to_string(r.value), " for ",
+                  to_string(r.object), " from ", tx_name(h, wn), ", but ",
+                  tx_name(h, jn), " also writes ", to_string(r.object),
+                  " with ", tx_name(h, wn), " <c ", tx_name(h, jn), " <c ",
+                  tx_name(h, tn)));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace discs::cons

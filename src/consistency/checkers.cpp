@@ -1,0 +1,32 @@
+#include "consistency/checkers.h"
+
+#include <sstream>
+
+namespace discs::cons {
+
+std::string CheckResult::summary() const {
+  std::ostringstream os;
+  os << verdict_str(verdict);
+  for (const auto& v : violations)
+    os << "\n  [" << v.kind << "] " << v.detail;
+  return os.str();
+}
+
+void CheckResult::flag(std::string kind, std::string detail) {
+  verdict = Verdict::kViolation;
+  violations.push_back({std::move(kind), std::move(detail)});
+}
+
+std::string verdict_str(Verdict v) {
+  switch (v) {
+    case Verdict::kOk:
+      return "OK";
+    case Verdict::kViolation:
+      return "VIOLATION";
+    case Verdict::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+}  // namespace discs::cons

@@ -1,0 +1,107 @@
+// Consistency checkers over transaction histories.
+//
+// check_causal_consistency implements Definition 1 of the paper specialized
+// to distinct written values (the paper's own simplification in Section 2):
+// with distinct values the reads-from relation is a function, the causal
+// relation <c is the transitive closure of program order ∪ reads-from, and
+// causal consistency holds iff (a) <c is acyclic and (b) no read r(X)v by T
+// admits a transaction T' that writes X with writer(v) <c T' <c T — which is
+// precisely the argument used in the proof of Lemma 1.
+//
+// The remaining checkers cover the consistency levels of Table 1 so the
+// bench can verify each implemented protocol's claimed level.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consistency/relation.h"
+#include "history/history.h"
+
+namespace discs::cons {
+
+using discs::hist::History;
+using discs::hist::TxRecord;
+using discs::hist::Writer;
+
+enum class Verdict { kOk, kViolation, kUnknown };
+
+struct Violation {
+  std::string kind;    ///< e.g. "causal-cycle", "intervening-write"
+  std::string detail;  ///< human-readable explanation with tx/value ids
+};
+
+struct CheckResult {
+  Verdict verdict = Verdict::kOk;
+  std::vector<Violation> violations;
+
+  bool ok() const { return verdict == Verdict::kOk; }
+  std::string summary() const;
+
+  void flag(std::string kind, std::string detail);
+};
+
+/// The causal graph of a history: node 0 is the virtual initializing
+/// transaction; node i+1 is history transaction i.  `order` is closed.
+struct CausalGraph {
+  explicit CausalGraph(const History& h);
+
+  const History& history;
+  Relation order;  ///< transitive closure of program order ∪ reads-from
+
+  static constexpr std::size_t kInitNode = 0;
+  static std::size_t node_of(std::size_t tx_index) { return tx_index + 1; }
+  std::size_t node_of_writer(const Writer& w) const {
+    return w.is_init() ? kInitNode : node_of(w.tx_index);
+  }
+
+  /// a <c b in the closed causality order.
+  bool before(std::size_t node_a, std::size_t node_b) const {
+    return order.has(node_a, node_b);
+  }
+};
+
+/// Sanity: every responded read returns a value that was actually written
+/// (or is the declared initial value) for that same object.
+CheckResult check_reads_valid(const History& h);
+
+/// Causal consistency (Definition 1, distinct values).
+CheckResult check_causal_consistency(const History& h);
+
+/// Read atomicity (RAMP): no fractured reads.  Flags a read of object Z
+/// from writer B by a transaction that also reads some object from writer A
+/// when A wrote Z and B is causally before A (or initial) — i.e., the
+/// transaction demonstrably missed part of A's atomic write set.
+CheckResult check_read_atomicity(const History& h);
+
+/// Serializability: exhaustive backtracking search for a legal total order.
+/// `budget` bounds search nodes; exhaustion yields Verdict::kUnknown.
+CheckResult check_serializability(const History& h,
+                                  std::size_t budget = 1 << 20);
+
+/// Strict serializability: as above plus real-time order (a transaction
+/// completing before another is invoked must precede it).
+CheckResult check_strict_serializability(const History& h,
+                                         std::size_t budget = 1 << 20);
+
+/// Session guarantees: read-your-writes and monotonic reads per client.
+CheckResult check_session_guarantees(const History& h);
+
+/// Snapshot isolation, approximated for distinct-value histories by its
+/// characteristic anomalies (documented in snapshot.cpp):
+///  - fractured reads (a transaction must read from a snapshot that is
+///    all-or-nothing w.r.t. every other transaction's write set),
+///  - skewed snapshots (two reads whose dictating writes are separated by
+///    another write to the first object along the causality order),
+///  - lost updates (two transactions that both read the same version of an
+///    object and both overwrite it).
+/// Sound for these anomaly classes; it does not search for start/commit
+/// point assignments, so exotic violations outside these classes may pass.
+CheckResult check_snapshot_isolation(const History& h);
+
+/// Names for reporting.
+std::string verdict_str(Verdict v);
+
+}  // namespace discs::cons

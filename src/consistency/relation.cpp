@@ -1,0 +1,67 @@
+#include "consistency/relation.h"
+
+#include "util/check.h"
+
+namespace discs::cons {
+
+Relation::Relation(std::size_t n)
+    : n_(n), words_((n + 63) / 64), bits_(n * words_, 0) {}
+
+void Relation::add(std::size_t a, std::size_t b) {
+  DISCS_CHECK(a < n_ && b < n_);
+  row(a)[b / 64] |= (1ULL << (b % 64));
+}
+
+bool Relation::has(std::size_t a, std::size_t b) const {
+  DISCS_CHECK(a < n_ && b < n_);
+  return (row(a)[b / 64] >> (b % 64)) & 1ULL;
+}
+
+void Relation::close() {
+  // Warshall with bitset rows: for each pivot k, every row that reaches k
+  // also reaches everything k reaches.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::uint64_t* rk = row(k);
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!has(i, k)) continue;
+      std::uint64_t* ri = row(i);
+      for (std::size_t w = 0; w < words_; ++w) ri[w] |= rk[w];
+    }
+  }
+}
+
+bool Relation::acyclic() const {
+  for (std::size_t i = 0; i < n_; ++i)
+    if (has(i, i)) return false;
+  return true;
+}
+
+std::vector<std::size_t> Relation::cycle_members() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n_; ++i)
+    if (has(i, i)) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> Relation::topological_order() const {
+  std::vector<std::size_t> indeg(n_, 0);
+  for (std::size_t a = 0; a < n_; ++a)
+    for (std::size_t b = 0; b < n_; ++b)
+      if (a != b && has(a, b)) ++indeg[b];
+
+  std::vector<std::size_t> ready, order;
+  for (std::size_t i = 0; i < n_; ++i)
+    if (indeg[i] == 0) ready.push_back(i);
+  while (!ready.empty()) {
+    std::size_t a = ready.back();
+    ready.pop_back();
+    order.push_back(a);
+    for (std::size_t b = 0; b < n_; ++b) {
+      if (a != b && has(a, b) && --indeg[b] == 0) ready.push_back(b);
+    }
+  }
+  if (order.size() != n_) return {};  // cyclic
+  return order;
+}
+
+}  // namespace discs::cons

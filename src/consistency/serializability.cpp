@@ -1,0 +1,154 @@
+// Exhaustive serializability checking by backtracking over total orders.
+//
+// With distinct written values the constraint system is: placing the
+// transactions in some total order, every responded read r(X)v by T must
+// have v's writer be the most recent X-writer placed before T.  The search
+// places transactions one at a time, maintaining per-object "last writer
+// placed"; a transaction is placeable iff each of its reads' dictating
+// writers is the current last writer for that object (or itself, for
+// own-writes).  Real-time edges (strict serializability) additionally
+// require all real-time predecessors to be placed first.
+#include <map>
+#include <optional>
+
+#include "consistency/checkers.h"
+#include "util/fmt.h"
+
+namespace discs::cons {
+
+namespace {
+
+using discs::ObjectId;
+
+struct SearchCtx {
+  const History& h;
+  std::size_t n;                  // number of transactions
+  std::vector<ObjectId> objects;
+  std::map<ObjectId, std::size_t> obj_index;
+  // For tx i: list of (object index, writer node) read constraints.
+  // Writer node: kInitSlot for init, else tx index.
+  static constexpr std::size_t kInitSlot = static_cast<std::size_t>(-1);
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> reads;
+  std::vector<std::vector<std::size_t>> writes;  // object indices written
+  // Real-time predecessors (strict mode only): bitmask per tx.
+  std::vector<std::vector<std::size_t>> rt_pred;
+  std::size_t budget;
+  std::size_t visited = 0;
+};
+
+bool dfs(SearchCtx& ctx, std::vector<bool>& placed, std::size_t placed_count,
+         std::vector<std::size_t>& last_writer) {
+  if (ctx.visited++ > ctx.budget) return false;  // treated as unknown upstream
+  if (placed_count == ctx.n) return true;
+
+  for (std::size_t i = 0; i < ctx.n; ++i) {
+    if (placed[i]) continue;
+
+    bool ok = true;
+    for (auto p : ctx.rt_pred[i])
+      if (!placed[p]) {
+        ok = false;
+        break;
+      }
+    if (!ok) continue;
+
+    for (const auto& [obj, writer] : ctx.reads[i]) {
+      if (writer == i) continue;  // own write, always satisfied
+      std::size_t expect =
+          writer == SearchCtx::kInitSlot ? SearchCtx::kInitSlot : writer;
+      if (last_writer[obj] != expect) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    placed[i] = true;
+    std::vector<std::pair<std::size_t, std::size_t>> undo;
+    for (auto obj : ctx.writes[i]) {
+      undo.emplace_back(obj, last_writer[obj]);
+      last_writer[obj] = i;
+    }
+    if (dfs(ctx, placed, placed_count + 1, last_writer)) return true;
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it)
+      last_writer[it->first] = it->second;
+    placed[i] = false;
+
+    if (ctx.visited > ctx.budget) return false;
+  }
+  return false;
+}
+
+CheckResult check_serializable_impl(const History& h, std::size_t budget,
+                                    bool strict) {
+  CheckResult result = check_reads_valid(h);
+  if (!result.ok()) return result;
+
+  SearchCtx ctx{.h = h,
+                .n = h.size(),
+                .objects = h.objects(),
+                .obj_index = {},
+                .reads = {},
+                .writes = {},
+                .rt_pred = {},
+                .budget = budget};
+  for (std::size_t o = 0; o < ctx.objects.size(); ++o)
+    ctx.obj_index[ctx.objects[o]] = o;
+
+  ctx.reads.resize(ctx.n);
+  ctx.writes.resize(ctx.n);
+  ctx.rt_pred.resize(ctx.n);
+
+  for (std::size_t i = 0; i < ctx.n; ++i) {
+    const TxRecord& t = h.at(i);
+    for (const auto& r : t.reads) {
+      if (!r.responded) continue;
+      auto w = h.writer_of(r.value);
+      if (!w) continue;
+      std::size_t writer_slot =
+          w->is_init() ? SearchCtx::kInitSlot : w->tx_index;
+      ctx.reads[i].emplace_back(ctx.obj_index.at(r.object), writer_slot);
+    }
+    for (const auto& wr : t.writes)
+      ctx.writes[i].push_back(ctx.obj_index.at(wr.object));
+  }
+
+  if (strict) {
+    for (std::size_t a = 0; a < ctx.n; ++a)
+      for (std::size_t b = 0; b < ctx.n; ++b)
+        if (a != b && h.at(a).completed &&
+            h.at(a).complete_seq < h.at(b).invoke_seq)
+          ctx.rt_pred[b].push_back(a);
+  }
+
+  std::vector<bool> placed(ctx.n, false);
+  std::vector<std::size_t> last_writer(ctx.objects.size(),
+                                       SearchCtx::kInitSlot);
+  bool found = dfs(ctx, placed, 0, last_writer);
+  if (found) return result;
+
+  if (ctx.visited > ctx.budget) {
+    result.verdict = Verdict::kUnknown;
+    result.violations.push_back(
+        {"budget-exhausted",
+         cat("serializability search exceeded ", budget, " nodes")});
+    return result;
+  }
+  result.flag(strict ? "not-strictly-serializable" : "not-serializable",
+              cat("no legal total order exists over ", ctx.n,
+                  " transactions"));
+  return result;
+}
+
+}  // namespace
+
+CheckResult check_serializability(const History& h, std::size_t budget) {
+  return check_serializable_impl(h, budget, /*strict=*/false);
+}
+
+CheckResult check_strict_serializability(const History& h,
+                                         std::size_t budget) {
+  return check_serializable_impl(h, budget, /*strict=*/true);
+}
+
+}  // namespace discs::cons

@@ -1,0 +1,149 @@
+#include "impossibility/auditor.h"
+
+#include <sstream>
+
+#include "proto/common/client.h"
+#include "util/fmt.h"
+#include "workload/workload.h"
+
+#include "impossibility/scenarios.h"
+
+namespace discs::imposs {
+
+using discs::proto::ClientBase;
+using discs::proto::Cluster;
+using discs::proto::IdSource;
+using discs::proto::TxSpec;
+
+std::string ProtocolAudit::row_str() const {
+  std::ostringstream os;
+  os << pad(name, 12) << " R=" << max_rounds
+     << " V=" << max_values_per_object
+     << " N=" << (nonblocking ? "yes" : "no")
+     << " WTX=" << (accepts_write_tx ? "yes" : "no")
+     << " causal=" << cons::verdict_str(causal_verdict)
+     << " induction=" << induction.outcome_str();
+  return os.str();
+}
+
+ProtocolAudit audit_protocol(const discs::proto::Protocol& proto,
+                             const AuditConfig& cfg) {
+  ProtocolAudit audit;
+  audit.name = proto.name();
+  audit.consistency_claim = proto.consistency_claim();
+
+  // --- Measured W: does a multi-object write transaction complete? ---
+  {
+    sim::Simulation sim;
+    IdSource ids;
+    Cluster cluster = proto.build(sim, cfg.cluster, ids);
+    ProcessId writer = cluster.clients.front();
+    TxSpec wtx = ids.write_tx(cluster.view.objects);
+    try {
+      sim.process_as<ClientBase>(writer).invoke(wtx);
+      sim::run_fair(sim, {},
+                    [&](const sim::Simulation& s) {
+                      return s.process_as<const ClientBase>(writer)
+                          .has_completed(wtx.id);
+                    },
+                    60000);
+      audit.accepts_write_tx =
+          sim.process_as<ClientBase>(writer).has_completed(wtx.id);
+    } catch (const CheckFailure&) {
+      audit.accepts_write_tx = false;
+    }
+  }
+
+  // --- Measured R / V / N over a sequential mixed workload. ---
+  {
+    sim::Simulation sim;
+    IdSource ids;
+    Cluster cluster = proto.build(sim, cfg.cluster, ids);
+    wl::WorkloadConfig wcfg;
+    wcfg.num_txs = cfg.workload_txs;
+    wcfg.seed = cfg.seed;
+    auto result = wl::run_workload_sequential(sim, proto, cluster, ids, wcfg);
+
+    bool saw_rot = false;
+    bool every_fast = true;
+    for (const auto& w : result.windows) {
+      if (!w.read_only || !w.completed) continue;
+      auto rot = audit_rot(sim.trace(), w.trace_begin, w.trace_end, w.id,
+                           w.client, cluster.view);
+      saw_rot = true;
+      audit.max_rounds = std::max(audit.max_rounds, rot.rounds);
+      audit.max_values_per_object =
+          std::max(audit.max_values_per_object, rot.max_values_per_object);
+      audit.nonblocking = audit.nonblocking && rot.nonblocking;
+      audit.any_fast = audit.any_fast || rot.fast();
+      every_fast = every_fast && rot.fast();
+      audit.rot_summaries.push_back(rot.summary());
+    }
+    audit.all_fast = saw_rot && every_fast;
+
+    auto causal = cons::check_causal_consistency(result.history);
+    audit.causal_verdict = causal.verdict;
+    audit.causal_detail = causal.summary();
+  }
+
+  // --- Adversarial stress phase: concurrent clients, random schedules. ---
+  for (std::size_t s = 0; s < cfg.stress_seeds; ++s) {
+    sim::Simulation sim;
+    IdSource ids;
+    Cluster cluster = proto.build(sim, cfg.cluster, ids);
+    wl::WorkloadConfig wcfg;
+    wcfg.num_txs = cfg.workload_txs;
+    wcfg.seed = cfg.seed + 1000 + s;
+    wcfg.write_fraction = 0.5;  // plenty of writes in flight during reads
+    auto result = wl::run_workload_concurrent(sim, proto, cluster, ids, wcfg);
+
+    for (const auto& w : result.windows) {
+      if (!w.read_only || !w.completed) continue;
+      auto rot = audit_rot(sim.trace(), w.trace_begin, w.trace_end, w.id,
+                           w.client, cluster.view);
+      audit.max_rounds = std::max(audit.max_rounds, rot.rounds);
+      audit.max_values_per_object =
+          std::max(audit.max_values_per_object, rot.max_values_per_object);
+      audit.nonblocking = audit.nonblocking && rot.nonblocking;
+    }
+
+    auto causal = cons::check_causal_consistency(result.history);
+    if (!causal.ok() && audit.causal_verdict == cons::Verdict::kOk) {
+      audit.causal_verdict = causal.verdict;
+      audit.causal_detail = causal.summary();
+    }
+  }
+
+  // --- Targeted adversarial scenarios (worst-case Table-1 cells). ---
+  {
+    auto chase = run_dependency_chase(proto, cfg.cluster);
+    if (chase.completed) {
+      audit.max_rounds = std::max(audit.max_rounds, chase.rounds);
+      audit.max_values_per_object =
+          std::max(audit.max_values_per_object, chase.max_values_per_object);
+      audit.nonblocking = audit.nonblocking && chase.nonblocking;
+      audit.rot_summaries.push_back("chase: " + chase.summary());
+    }
+    auto lag = run_stabilization_lag(proto, cfg.cluster);
+    if (lag.completed) {
+      audit.max_rounds = std::max(audit.max_rounds, lag.rounds);
+      audit.max_values_per_object =
+          std::max(audit.max_values_per_object, lag.max_values_per_object);
+      audit.nonblocking = audit.nonblocking && lag.nonblocking;
+      audit.rot_summaries.push_back("lag: " + lag.summary());
+    }
+  }
+
+  // --- The theorem machinery. ---
+  if (cfg.run_induction) {
+    InductionOptions iopt;
+    iopt.max_steps = cfg.induction_steps;
+    audit.induction = run_induction(proto, cfg.cluster, iopt);
+  } else {
+    audit.induction.protocol = proto.name();
+  }
+
+  return audit;
+}
+
+}  // namespace discs::imposs

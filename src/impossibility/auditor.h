@@ -1,0 +1,51 @@
+// Top-level protocol auditor: one call produces everything a Table-1 row
+// needs — measured (R, V, N, W), the verified consistency level, and the
+// induction outcome.
+#pragma once
+
+#include <string>
+
+#include "consistency/checkers.h"
+#include "impossibility/induction.h"
+
+namespace discs::imposs {
+
+struct AuditConfig {
+  discs::proto::ClusterConfig cluster;
+  std::size_t workload_txs = 40;
+  std::uint64_t seed = 7;
+  std::size_t induction_steps = 6;
+  bool run_induction = true;
+  /// Adversarial phase: concurrent transactions under randomized schedules
+  /// across this many seeds, to force each protocol's worst-case read path
+  /// (COPS' second round, Eiger's pending dance, GentleRain's blocking).
+  std::size_t stress_seeds = 4;
+};
+
+struct ProtocolAudit {
+  std::string name;
+  std::string consistency_claim;
+
+  // Measured over a sequential mixed workload:
+  std::size_t max_rounds = 0;           ///< Table 1 "R"
+  std::size_t max_values_per_object = 0;  ///< Table 1 "V"
+  bool nonblocking = true;              ///< Table 1 "N"
+  bool any_fast = false;                ///< some ROT satisfied all of N,O,V
+  bool all_fast = false;                ///< every ROT did
+
+  bool accepts_write_tx = false;        ///< Table 1 "WTX" (measured)
+
+  cons::Verdict causal_verdict = cons::Verdict::kUnknown;
+  std::string causal_detail;
+
+  InductionReport induction;
+
+  std::vector<std::string> rot_summaries;
+
+  std::string row_str() const;  ///< one Table-1-style line
+};
+
+ProtocolAudit audit_protocol(const discs::proto::Protocol& proto,
+                             const AuditConfig& cfg = {});
+
+}  // namespace discs::imposs

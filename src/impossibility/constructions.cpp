@@ -1,0 +1,230 @@
+#include "impossibility/constructions.h"
+
+#include <algorithm>
+
+#include "proto/common/client.h"
+#include "proto/common/server.h"
+#include "util/fmt.h"
+
+namespace discs::imposs {
+
+using discs::proto::ClientBase;
+using discs::proto::ServerBase;
+using discs::proto::TxSpec;
+
+namespace {
+
+/// Lets the reader collect all replies addressed to it and take steps until
+/// its transaction completes (or the budget runs out).
+bool drain_to_reader(sim::Simulation& sim, ProcessId reader, TxId rot,
+                     std::size_t budget) {
+  for (std::size_t i = 0; i < budget; ++i) {
+    auto& client = sim.process_as<ClientBase>(reader);
+    if (client.has_completed(rot)) return true;
+    bool delivered = false;
+    std::vector<MsgId> ids;
+    for (const auto& m : sim.network().in_flight())
+      if (m.dst == reader) ids.push_back(m.id);
+    for (auto id : ids) delivered |= sim.deliver(id);
+    sim.step(reader);
+    if (!delivered && sim.network().income_of(reader).empty() &&
+        !sim.process_as<ClientBase>(reader).has_completed(rot)) {
+      // Nothing left to give the reader; one more idle step already taken.
+      return sim.process_as<ClientBase>(reader).has_completed(rot);
+    }
+  }
+  return sim.process_as<ClientBase>(reader).has_completed(rot);
+}
+
+GammaRun run_gamma(const sim::Simulation& C, const Protocol& proto,
+                   const Cluster& cluster, ProcessId p,
+                   discs::proto::IdSource& ids, const GammaOptions& options,
+                   bool p_first) {
+  GammaRun run;
+  run.sim = C;
+  run.begin = run.sim.trace().size();
+
+  run.reader = proto.add_client(run.sim, cluster.view);
+  TxSpec rot = ids.read_tx(cluster.view.objects);
+  run.rot = rot.id;
+  run.sim.process_as<ClientBase>(run.reader).invoke(rot);
+
+  // The reader takes its one step, sending a message to every server it
+  // reads from (the one-roundtrip property).
+  run.sim.step(run.reader);
+  if (run.sim.network().in_flight().empty()) {
+    run.note = "reader sent no messages in its first step";
+    return run;
+  }
+
+  // Order of server turns: p first (gamma_new) or p last (gamma_old).
+  std::vector<ProcessId> order;
+  if (p_first) order.push_back(p);
+  for (auto s : cluster.view.servers)
+    if (s != p) order.push_back(s);
+  if (!p_first) order.push_back(p);
+
+  std::size_t turns_done = 0;
+  for (auto s : order) {
+    if (run.sim.deliver_between(run.reader, s) > 0) run.sim.step(s);
+    ++turns_done;
+    // sigma ends after the first group: p itself (gamma_new) or everyone
+    // but p (gamma_old).
+    if ((p_first && turns_done == 1) ||
+        (!p_first && turns_done + 1 == order.size()))
+      run.sigma_end = run.sim.trace().size();
+  }
+
+  run.completed =
+      drain_to_reader(run.sim, run.reader, run.rot, options.budget);
+  if (run.completed)
+    run.returned =
+        run.sim.process_as<ClientBase>(run.reader).result_of(run.rot);
+  run.ok = true;
+  return run;
+}
+
+}  // namespace
+
+GammaRun run_gamma_old(const sim::Simulation& C, const Protocol& proto,
+                       const Cluster& cluster, ProcessId p,
+                       discs::proto::IdSource& ids,
+                       const GammaOptions& options) {
+  return run_gamma(C, proto, cluster, p, ids, options, /*p_first=*/false);
+}
+
+GammaRun run_gamma_new(const sim::Simulation& C, const Protocol& proto,
+                       const Cluster& cluster, ProcessId p,
+                       discs::proto::IdSource& ids,
+                       const GammaOptions& options) {
+  return run_gamma(C, proto, cluster, p, ids, options, /*p_first=*/true);
+}
+
+MixExhibit run_mix_exhibit(const sim::Simulation& C, const Protocol& proto,
+                           const Cluster& cluster, ProcessId cw,
+                           const TxSpec& tw, ProcessId q_old,
+                           ProcessId p_new, discs::proto::IdSource& ids,
+                           std::size_t budget) {
+  MixExhibit ex;
+  sim::Simulation sim = C;
+  std::size_t begin = sim.trace().size();
+
+  // Fresh reader c_r issues the fast ROT; its requests go out in one step.
+  ex.reader = proto.add_client(sim, cluster.view);
+  TxSpec rot = ids.read_tx(cluster.view.objects);
+  ex.rot = rot.id;
+  sim.process_as<ClientBase>(ex.reader).invoke(rot);
+  sim.step(ex.reader);
+
+  // sigma_old: q_old (and, under >2 servers, every server other than
+  // p_new) receives the read request and answers NOW, before any of Tw's
+  // effects reach it.
+  for (auto s : cluster.view.servers) {
+    if (s == p_new) continue;
+    if (sim.deliver_between(ex.reader, s) > 0) sim.step(s);
+  }
+
+  // beta_new / rho_new: the writer makes progress WITHOUT q_old taking any
+  // step (the proof's splice removing p_{k%2}).  We deliver messages and
+  // step processes only within {cw, servers != q_old} until Tw's writes are
+  // visible at p_new (for this reader) or the budget is exhausted.
+  auto new_values_at = [&](ProcessId server) {
+    const auto& store = sim.process_as<const ServerBase>(server).store();
+    for (const auto& [obj, value] : tw.write_set) {
+      if (!cluster.view.server_stores(server, obj)) continue;
+      const kv::Version* v = store.latest_visible(obj, ex.rot);
+      if (!v || v->value != value) return false;
+    }
+    return true;
+  };
+
+  std::vector<ProcessId> participants{cw};
+  for (auto s : cluster.view.servers)
+    if (s != q_old) participants.push_back(s);
+
+  std::size_t spent = 0;
+  while (!new_values_at(p_new) && spent < budget) {
+    bool progressed = false;
+    std::vector<MsgId> deliverable;
+    for (const auto& m : sim.network().in_flight()) {
+      bool src_in = false, dst_in = false;
+      for (auto q : participants) {
+        src_in |= (q == m.src);
+        dst_in |= (q == m.dst);
+      }
+      if (src_in && dst_in) deliverable.push_back(m.id);
+    }
+    for (auto id : deliverable) {
+      progressed |= sim.deliver(id);
+      ++spent;
+    }
+    for (auto q : participants) {
+      bool had = !sim.network().income_of(q).empty();
+      std::size_t flight_before = sim.network().in_flight_count();
+      sim.step(q);
+      ++spent;
+      progressed |=
+          had || sim.network().in_flight_count() != flight_before;
+      if (new_values_at(p_new)) break;
+    }
+    if (!progressed) break;
+  }
+  if (!new_values_at(p_new)) {
+    ex.note = cat("writer could not make its values visible at ",
+                  to_string(p_new), " without ", to_string(q_old),
+                  " taking steps — the claim-1 premise does not hold here");
+    return ex;
+  }
+
+  // sigma_new: p_new now receives the reader's request and answers with
+  // the NEW value.
+  if (sim.deliver_between(ex.reader, p_new) > 0) sim.step(p_new);
+
+  // The reader collects both replies and completes.
+  drain_to_reader(sim, ex.reader, ex.rot, 64);
+  auto& client = sim.process_as<ClientBase>(ex.reader);
+  ex.reader_audit = audit_rot(sim.trace(), begin, sim.trace().size(),
+                              ex.rot, ex.reader, cluster.view);
+  ex.reader_audit.completed = client.has_completed(ex.rot);
+  if (!client.has_completed(ex.rot)) {
+    ex.note = cat("reader did not complete under the spliced schedule "
+                  "(audit: ",
+                  ex.reader_audit.summary(), ")");
+    return ex;
+  }
+  ex.returned = client.result_of(ex.rot);
+  ex.produced = true;
+
+  // Assemble the checkable history: initial values, the writer's
+  // transactions (completing Tw per comm(H) if it is still pending), and
+  // the reader's ROT.
+  hist::History base;
+  for (const auto& [obj, v] : cluster.initial_values) base.set_initial(obj, v);
+  std::vector<hist::History> parts{base};
+  parts.push_back(sim.process_as<const ClientBase>(cw).local_history());
+
+  bool tw_recorded = false;
+  for (const auto& t : parts.back().txs())
+    if (t.id == tw.id) tw_recorded = true;
+  if (!tw_recorded) {
+    hist::History synth;
+    hist::TxRecord rec;
+    rec.id = tw.id;
+    rec.client = cw;
+    rec.invoked = true;
+    rec.completed = true;  // comm(H): complete the pending write responses
+    rec.invoke_seq = C.now();
+    rec.complete_seq = sim.now();
+    for (const auto& [obj, v] : tw.write_set)
+      rec.writes.push_back({obj, v, true});
+    synth.add(std::move(rec));
+    parts.push_back(std::move(synth));
+  }
+  parts.push_back(sim.process_as<const ClientBase>(ex.reader).local_history());
+  ex.history = hist::merge_histories(parts);
+
+  ex.trace_rendering = sim.trace().render(begin, sim.trace().size());
+  return ex;
+}
+
+}  // namespace discs::imposs

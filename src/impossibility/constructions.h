@@ -1,0 +1,89 @@
+// Executable versions of the proof's execution constructions.
+//
+// Construction 1 / 3 (gamma_old): from a configuration C in which the
+// written values are not visible, a fresh reader issues a fast ROT; the
+// adversary delivers and answers at every server EXCEPT p first (that
+// prefix is sigma_old), then at p, then lets the reader complete.  The
+// reader returns the INITIAL values (Observation 1 / 5).
+//
+// Construction 2 / 4 (gamma_new): from a configuration C in which the
+// written values are visible, server p answers FIRST (sigma_new), then the
+// others.  The reader returns the NEW values (Observation 2 / 6).
+//
+// run_mix_exhibit interleaves the two: sigma_old at server q, then the
+// writer's progress filtered to exclude q (the proof's beta_new / rho_new
+// splice — legal because the involved process sets are disjoint), then
+// sigma_new at server p.  Against a protocol that really is fast and really
+// makes multi-object writes visible without the cross-server messages of
+// claim 1, the reader returns a MIX of old and new values — the
+// machine-checked contradiction with Lemma 1.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "history/history.h"
+#include "impossibility/properties.h"
+#include "impossibility/visibility.h"
+#include "proto/common/cluster.h"
+#include "sim/simulation.h"
+
+namespace discs::imposs {
+
+struct GammaOptions {
+  std::size_t budget = 6000;
+};
+
+struct GammaRun {
+  bool ok = false;        ///< schedule executed as specified
+  std::string note;       ///< diagnostics when !ok
+  sim::Simulation sim;    ///< configuration after the full gamma execution
+  std::size_t begin = 0;  ///< trace index where gamma started
+  std::size_t sigma_end = 0;  ///< trace index right after the sigma prefix
+  TxId rot;
+  ProcessId reader;
+  bool completed = false;
+  std::map<ObjectId, ValueId> returned;
+};
+
+/// gamma_old(C, p, c_r): all servers except `p` respond before `p`.
+GammaRun run_gamma_old(const sim::Simulation& C, const Protocol& proto,
+                       const Cluster& cluster, ProcessId p,
+                       discs::proto::IdSource& ids,
+                       const GammaOptions& options = {});
+
+/// gamma_new(C, p, c_r): server `p` responds first.
+GammaRun run_gamma_new(const sim::Simulation& C, const Protocol& proto,
+                       const Cluster& cluster, ProcessId p,
+                       discs::proto::IdSource& ids,
+                       const GammaOptions& options = {});
+
+struct MixExhibit {
+  bool produced = false;  ///< the reader completed under the spliced schedule
+  std::string note;
+  TxId rot;
+  ProcessId reader;
+  /// Property audit of the reader's transaction under the spliced
+  /// schedule.  A protocol that escapes the exhibit by taking an extra
+  /// round (RAMP's repair, COPS' re-fetch) is thereby shown NOT fast.
+  RotAudit reader_audit;
+  std::map<ObjectId, ValueId> returned;
+  /// History of the exhibit: initial values, the writer's transactions
+  /// (with Tw completed per comm(H)), and the reader's ROT — ready for the
+  /// causal-consistency checker.
+  hist::History history;
+  std::string trace_rendering;  ///< the gamma execution, rendered
+};
+
+/// Builds the contradictory execution gamma/delta of Lemma 3 from
+/// configuration `C` where Tw (spec `tw`, by client `cw`) has been invoked
+/// and its values are not yet visible.  `q_old` is the server scheduled to
+/// answer before Tw's effects reach it; `p_new` answers after Tw's writes
+/// are applied at it.
+MixExhibit run_mix_exhibit(const sim::Simulation& C, const Protocol& proto,
+                           const Cluster& cluster, ProcessId cw,
+                           const discs::proto::TxSpec& tw, ProcessId q_old,
+                           ProcessId p_new, discs::proto::IdSource& ids,
+                           std::size_t budget = 8000);
+
+}  // namespace discs::imposs

@@ -1,0 +1,370 @@
+#include "impossibility/induction.h"
+
+#include <set>
+#include <sstream>
+
+#include "consistency/checkers.h"
+#include "impossibility/scenarios.h"
+#include "proto/common/client.h"
+#include "sim/schedule.h"
+#include "util/check.h"
+#include "util/fmt.h"
+
+namespace discs::imposs {
+
+using discs::proto::ClientBase;
+using discs::proto::Cluster;
+using discs::proto::ClusterConfig;
+using discs::proto::IdSource;
+using discs::proto::TxSpec;
+
+std::string InductionReport::outcome_str() const {
+  switch (outcome) {
+    case Outcome::kNotFastRot:
+      return "NOT-FAST-ROT";
+    case Outcome::kRejectsWriteTx:
+      return "REJECTS-WRITE-TX";
+    case Outcome::kCausalViolation:
+      return "CAUSAL-VIOLATION";
+    case Outcome::kTroublesomeExecution:
+      return "TROUBLESOME-EXECUTION";
+    case Outcome::kNoProgressNoComm:
+      return "NO-PROGRESS-NO-COMMUNICATION";
+    case Outcome::kInconclusive:
+      return "INCONCLUSIVE";
+  }
+  return "?";
+}
+
+std::string InductionReport::summary() const {
+  std::ostringstream os;
+  os << protocol << ": " << outcome_str() << "\n";
+  os << "  fast-claim audit: " << probe_audit.summary() << "\n";
+  for (const auto& s : steps)
+    os << "  k=" << s.k << " ms_k=" << s.ms_description
+       << (s.implicit ? " (implicit)" : "")
+       << " visible-after=" << (s.values_visible_after ? "YES (!)" : "no")
+       << "\n";
+  if (!detail.empty()) os << "  " << detail << "\n";
+  return os.str();
+}
+
+namespace {
+
+bool is_server(const Cluster& cluster, ProcessId p) {
+  for (auto s : cluster.view.servers)
+    if (s == p) return true;
+  return false;
+}
+
+/// Runs cw solo (cw + servers) from the current configuration until ms_k
+/// is sent, the network quiesces, or the budget runs out.
+struct SoloResult {
+  bool found_ms = false;
+  std::string ms_description;
+  ProcessId ms_sender;
+  bool implicit = false;
+  bool quiesced = false;
+};
+
+SoloResult run_solo_until_ms(sim::Simulation& sim, const Cluster& cluster,
+                             ProcessId cw, std::size_t budget) {
+  SoloResult result;
+  std::vector<ProcessId> participants{cw};
+  for (auto s : cluster.view.servers) participants.push_back(s);
+
+  // Servers whose messages cw has consumed since this segment began
+  // (candidates for the "implicit message" of claim 1 case 2).
+  std::set<std::uint64_t> heard_from;
+
+  auto inspect_step = [&](const sim::EventRecord& rec) -> bool {
+    if (rec.event.kind != sim::Event::Kind::kStep) return false;
+    ProcessId actor = rec.event.process;
+
+    if (is_server(cluster, actor)) {
+      for (const auto& m : rec.sent) {
+        if (is_server(cluster, m.dst) && m.dst != actor) {
+          result.found_ms = true;
+          result.ms_sender = actor;
+          result.ms_description = m.describe();
+          return true;
+        }
+      }
+      return false;
+    }
+
+    if (actor == cw) {
+      for (const auto& m : rec.consumed)
+        if (is_server(cluster, m.src)) heard_from.insert(m.src.value());
+      for (const auto& m : rec.sent) {
+        if (!is_server(cluster, m.dst)) continue;
+        for (auto q : heard_from) {
+          if (q != m.dst.value()) {
+            result.found_ms = true;
+            result.implicit = true;
+            result.ms_sender = ProcessId(q);
+            result.ms_description =
+                cat("server ", to_string(ProcessId(q)), " -> ",
+                    to_string(cw), " -> ", m.describe());
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  std::size_t spent = 0;
+  std::size_t idle_rounds = 0;
+  while (spent < budget) {
+    bool progressed = false;
+
+    std::vector<MsgId> deliverable;
+    for (const auto& m : sim.network().in_flight()) {
+      bool src_in = false, dst_in = false;
+      for (auto q : participants) {
+        src_in |= (q == m.src);
+        dst_in |= (q == m.dst);
+      }
+      if (src_in && dst_in) deliverable.push_back(m.id);
+    }
+    for (auto id : deliverable) {
+      if (sim.deliver(id)) {
+        progressed = true;
+        ++spent;
+      }
+    }
+
+    for (auto p : participants) {
+      bool had = !sim.network().income_of(p).empty();
+      std::size_t flight_before = sim.network().in_flight_count();
+      sim.step(p);
+      ++spent;
+      const auto& rec = sim.trace().at(sim.trace().size() - 1);
+      if (inspect_step(rec)) return result;
+      if (had || sim.network().in_flight_count() != flight_before)
+        progressed = true;
+    }
+
+    if (progressed) {
+      idle_rounds = 0;
+    } else if (++idle_rounds > 64) {
+      // Even with time passing (ticks), nothing happens anymore.
+      result.quiesced = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+InductionReport run_induction(const Protocol& proto, const ClusterConfig& cfg,
+                              const InductionOptions& options) {
+  InductionReport report;
+  report.protocol = proto.name();
+
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster = proto.build(sim, cfg, ids);
+  DISCS_CHECK_MSG(cluster.clients.size() >= 2,
+                  "the construction needs the writer plus fresh readers");
+  ProcessId cw = cluster.clients.front();
+
+  // --- Reach C0: cw reads the initial values (T_in_r), then quiesce. ---
+  TxSpec t_in_r = ids.read_tx(cluster.view.objects);
+  sim.process_as<ClientBase>(cw).invoke(t_in_r);
+  sim::run_fair(sim, {},
+                [&](const sim::Simulation& s) {
+                  return s.process_as<const ClientBase>(cw).has_completed(
+                      t_in_r.id);
+                },
+                options.solo_budget);
+  if (!sim.process_as<ClientBase>(cw).has_completed(t_in_r.id)) {
+    report.detail = "setup failed: T_in_r did not complete";
+    return report;
+  }
+  for (const auto& [obj, v] : cluster.initial_values) {
+    auto got = sim.process_as<ClientBase>(cw).result_of(t_in_r.id);
+    if (got[obj] != v) {
+      report.detail = "setup failed: initial values not visible at Q0";
+      return report;
+    }
+  }
+  sim::run_to_quiescence(sim, {}, options.solo_budget);  // drain to C0
+
+  // --- Fast-ROT claim check (on a copy, leaving C0 untouched). ---
+  {
+    sim::Simulation probe = sim;
+    ProcessId reader = proto.add_client(probe, cluster.view);
+    TxSpec rot = ids.read_tx(cluster.view.objects);
+    std::size_t t0 = probe.trace().size();
+    probe.process_as<ClientBase>(reader).invoke(rot);
+    sim::run_fair(probe, {},
+                  [&](const sim::Simulation& s) {
+                    return s.process_as<const ClientBase>(reader)
+                        .has_completed(rot.id);
+                  },
+                  options.solo_budget);
+    report.probe_audit = audit_rot(probe.trace(), t0, probe.trace().size(),
+                                   rot.id, reader, cluster.view);
+    report.probe_audit.completed =
+        probe.process_as<ClientBase>(reader).has_completed(rot.id);
+    if (!report.probe_audit.completed || !report.probe_audit.fast()) {
+      report.outcome = InductionReport::Outcome::kNotFastRot;
+      report.detail = "the protocol does not provide fast ROTs; the "
+                      "theorem's premise fails here";
+      return report;
+    }
+  }
+
+  // --- Invoke Tw = write-only transaction over all objects. ---
+  TxSpec tw = ids.write_tx(cluster.view.objects);
+  try {
+    sim.process_as<ClientBase>(cw).invoke(tw);
+  } catch (const CheckFailure& e) {
+    report.outcome = InductionReport::Outcome::kRejectsWriteTx;
+    report.detail = e.what();
+    return report;
+  }
+  std::map<ObjectId, ValueId> written;
+  for (const auto& [obj, v] : tw.write_set) written[obj] = v;
+
+  ProcessId q_old = cluster.view.servers[0];
+  ProcessId p_new = cluster.view.servers[1];
+
+  // Classifies the result of a gamma/delta exhibit attempt.  Returns true
+  // when the report was finalized.
+  auto classify_exhibit = [&](const MixExhibit& ex,
+                              const char* which) -> bool {
+    if (ex.produced && ex.reader_audit.fast()) {
+      auto check = cons::check_causal_consistency(ex.history);
+      if (!check.ok()) {
+        report.outcome = InductionReport::Outcome::kCausalViolation;
+        report.detail =
+            cat(which, " execution: reader returned {",
+                join(ex.returned, ", ",
+                     [](const auto& kv) {
+                       return cat(to_string(kv.first), "=",
+                                  to_string(kv.second));
+                     }),
+                "}; checker verdict: ", check.summary());
+        return true;
+      }
+    }
+    if (ex.reader_audit.rounds >= 1 && !ex.reader_audit.fast()) {
+      // The protocol only escaped the exhibit by giving up a fast
+      // property under this very schedule (RAMP's repair round, COPS'
+      // re-fetch, FatCOPS' value-laden replies).
+      report.outcome = InductionReport::Outcome::kNotFastRot;
+      report.detail = cat("the reader inside the ", which,
+                          " construction was not fast: ",
+                          ex.reader_audit.summary());
+      return true;
+    }
+    // Last resort: the chase schedules, which force conditionally-fast
+    // protocols onto their slow paths.
+    for (auto chase : {run_fracture_chase(proto, cfg),
+                       run_dependency_chase(proto, cfg)}) {
+      if (chase.completed && !chase.fast()) {
+        report.outcome = InductionReport::Outcome::kNotFastRot;
+        report.detail = cat("the ", which,
+                            " exhibit could not be built (", ex.note,
+                            "); an adversarial chase schedule shows the "
+                            "protocol is not fast: ",
+                            chase.summary());
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // --- The induction: build alpha_1, alpha_2, ... ---
+  for (std::size_t k = 1; k <= options.max_steps; ++k) {
+    sim::Simulation c_prev = sim;  // C_{k-1}, for the exhibit if needed
+
+    SoloResult solo = run_solo_until_ms(sim, cluster, cw,
+                                        options.solo_budget);
+
+    if (!solo.found_ms) {
+      // No ms_k will ever be sent from C_{k-1}.  Claim 1 says a correct
+      // fast system cannot be in this situation unless the values never
+      // become visible at all.
+      auto probe = probe_visibility(sim, proto, cluster, written, ids,
+                                    options.probe);
+      if (probe.completed && !probe.probe_was_fast) {
+        // The theorem quantifies over every execution: a read-only
+        // transaction in this very run failed to be fast, refuting the
+        // fast claim (COPS' conditional second round, Eiger's pending
+        // dance, FatCOPS' multi-value replies show up here).
+        report.outcome = InductionReport::Outcome::kNotFastRot;
+        report.detail = cat("a probe ROT during the run was not fast: ",
+                            probe.probe_audit_summary);
+        return report;
+      }
+      if (probe.visible) {
+        // The contradiction of claim 1: visibility without cross-server
+        // communication.  Exhibit the mixed-values execution.
+        MixExhibit ex = run_mix_exhibit(c_prev, proto, cluster, cw, tw,
+                                        q_old, p_new, ids);
+        if (classify_exhibit(ex, "gamma")) return report;
+        report.outcome = InductionReport::Outcome::kInconclusive;
+        report.detail = cat("values visible without ms_k but the exhibit "
+                            "failed: ",
+                            ex.note);
+        return report;
+      }
+      if (solo.quiesced) {
+        report.outcome = InductionReport::Outcome::kNoProgressNoComm;
+        report.detail =
+            "the writer quiesced without cross-server communication and "
+            "its values never became visible (minimal progress violated)";
+        return report;
+      }
+      report.outcome = InductionReport::Outcome::kInconclusive;
+      report.detail = "solo budget exhausted without ms_k or visibility";
+      return report;
+    }
+
+    // ms_k found: alpha_k ends right after its send.  Claim 2: the values
+    // must not be visible in C_k.
+    InductionStep step;
+    step.k = k;
+    step.ms_description = solo.ms_description;
+    step.ms_sender = solo.ms_sender;
+    step.implicit = solo.implicit;
+
+    auto probe =
+        probe_visibility(sim, proto, cluster, written, ids, options.probe);
+    step.values_visible_after = probe.visible;
+    report.steps.push_back(step);
+
+    if (probe.completed && !probe.probe_was_fast) {
+      report.outcome = InductionReport::Outcome::kNotFastRot;
+      report.detail = cat("a probe ROT after alpha_", k,
+                          " was not fast: ", probe.probe_audit_summary);
+      return report;
+    }
+
+    if (probe.visible) {
+      // Contradiction of claim 2 — the delta execution exhibits the mix.
+      MixExhibit ex = run_mix_exhibit(c_prev, proto, cluster, cw, tw, q_old,
+                                      p_new, ids);
+      if (classify_exhibit(ex, "delta")) return report;
+      report.outcome = InductionReport::Outcome::kInconclusive;
+      report.detail = cat("values visible after alpha_", k,
+                          " but the exhibit failed: ", ex.note);
+      return report;
+    }
+  }
+
+  report.outcome = InductionReport::Outcome::kTroublesomeExecution;
+  report.detail =
+      cat("after ", options.max_steps,
+          " prefixes the values written by Tw are still not visible and "
+          "every prefix required one more message — the troublesome "
+          "execution alpha");
+  return report;
+}
+
+}  // namespace discs::imposs

@@ -1,0 +1,80 @@
+// The Lemma 3 / Lemma 6 induction driver — Theorem 1 and Theorem 2 as an
+// executable procedure.
+//
+// Against any protocol configured with >= 2 servers (disjoint placement:
+// Theorem 1; partial replication: Theorem 2 / Appendix A), the driver
+//   1. reaches the paper's configuration C0 (initial values visible, the
+//      writing client cw has read them, no message in transit),
+//   2. verifies the protocol's fast-ROT claim with the property monitors,
+//   3. invokes the write-only transaction Tw = (w(X0)x0, ..., w(XN)xN),
+//   4. runs cw solo from C_{k-1}, watching for the message ms_k whose
+//      existence claim 1 asserts: a server-to-server message, or a
+//      server-to-cw message after whose receipt cw writes to a different
+//      server; alpha'_k ends when ms_k is sent,
+//   5. probes (Definition 2) that the written values are NOT visible in
+//      C_k — claim 2 — and repeats.
+//
+// Possible outcomes, partitioning the design space exactly as the theorem
+// does:
+//   kNotFastRot          — the monitors refute the fast claim (Wren,
+//                          GentleRain, Spanner, COPS, Eiger, FatCOPS);
+//   kRejectsWriteTx      — W is not supported (COPS-SNOW, COPS, GentleRain);
+//   kCausalViolation     — the values became visible although no ms_k was
+//                          sent; the gamma/delta construction then yields a
+//                          reader returning mixed old/new values, and the
+//                          checker certifies the Lemma 1 contradiction
+//                          (NaiveFast);
+//   kTroublesomeExecution— max_steps rounds of ms_k messages were exhibited
+//                          with the values never visible: the finite shadow
+//                          of the infinite execution alpha (Stubborn);
+//   kNoProgressNoComm    — the writer got stuck without communication
+//                          (minimal progress violated outright).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "impossibility/constructions.h"
+#include "impossibility/properties.h"
+
+namespace discs::imposs {
+
+struct InductionStep {
+  std::size_t k = 0;
+  std::string ms_description;  ///< the message ms_k
+  ProcessId ms_sender;
+  bool implicit = false;  ///< case (2): server->cw->other-server chain
+  bool values_visible_after = false;  ///< claim 2 probe (must stay false)
+};
+
+struct InductionReport {
+  enum class Outcome {
+    kNotFastRot,
+    kRejectsWriteTx,
+    kCausalViolation,
+    kTroublesomeExecution,
+    kNoProgressNoComm,
+    kInconclusive,
+  };
+
+  Outcome outcome = Outcome::kInconclusive;
+  std::string protocol;
+  RotAudit probe_audit;  ///< the fast-claim measurement at C0
+  std::vector<InductionStep> steps;
+  std::string detail;  ///< certificate: violation summary / trace excerpt
+
+  std::string outcome_str() const;
+  std::string summary() const;
+};
+
+struct InductionOptions {
+  std::size_t max_steps = 8;      ///< K: how many alpha_k prefixes to build
+  std::size_t solo_budget = 30000;  ///< events per solo run segment
+  ProbeOptions probe;
+};
+
+InductionReport run_induction(const Protocol& proto,
+                              const discs::proto::ClusterConfig& cfg,
+                              const InductionOptions& options = {});
+
+}  // namespace discs::imposs

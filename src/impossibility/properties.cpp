@@ -1,0 +1,204 @@
+#include "impossibility/properties.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/fmt.h"
+
+namespace discs::imposs {
+
+using namespace discs::proto;
+using sim::Event;
+using sim::EventRecord;
+using sim::Message;
+
+namespace {
+
+bool is_server(const ClusterView& view, ProcessId p) {
+  for (auto s : view.servers)
+    if (s == p) return true;
+  return false;
+}
+
+/// Does this payload belong to read transaction `tx` as a client request?
+bool part_is_rot_request(const sim::Payload& p, TxId tx) {
+  if (const auto* r = dynamic_cast<const RotRequest*>(&p)) return r->tx == tx;
+  if (const auto* r = dynamic_cast<const SnapshotRequest*>(&p))
+    return r->tx == tx;
+  if (const auto* r = dynamic_cast<const TxStatusQuery*>(&p))
+    return r->reader == tx;
+  return false;
+}
+
+bool is_rot_request(const Message& m, TxId tx) {
+  for (const auto& part : sim::payload_parts(m))
+    if (part_is_rot_request(*part, tx)) return true;
+  return false;
+}
+
+/// Does this payload belong to read transaction `tx` as a server reply?
+bool part_is_rot_reply(const sim::Payload& p, TxId tx) {
+  if (const auto* r = dynamic_cast<const RotReply*>(&p)) return r->tx == tx;
+  if (const auto* r = dynamic_cast<const SnapshotReply*>(&p))
+    return r->tx == tx;
+  if (const auto* r = dynamic_cast<const TxStatusReply*>(&p))
+    return r->reader == tx;
+  return false;
+}
+
+bool is_rot_reply(const Message& m, TxId tx) {
+  for (const auto& part : sim::payload_parts(m))
+    if (part_is_rot_reply(*part, tx)) return true;
+  return false;
+}
+
+bool part_belongs_to_write(const sim::Payload& pl, TxId tx) {
+  if (const auto* p = dynamic_cast<const WriteRequest*>(&pl))
+    return p->tx == tx;
+  if (const auto* p = dynamic_cast<const WriteReply*>(&pl))
+    return p->tx == tx;
+  if (const auto* p = dynamic_cast<const Prepare*>(&pl)) return p->tx == tx;
+  if (const auto* p = dynamic_cast<const PrepareAck*>(&pl))
+    return p->tx == tx;
+  if (const auto* p = dynamic_cast<const Commit*>(&pl)) return p->tx == tx;
+  if (const auto* p = dynamic_cast<const CommitAck*>(&pl))
+    return p->tx == tx;
+  if (const auto* p = dynamic_cast<const OldReaderQuery*>(&pl))
+    return p->wtx == tx;
+  if (const auto* p = dynamic_cast<const OldReaderReply*>(&pl))
+    return p->wtx == tx;
+  return false;
+}
+
+bool belongs_to_write(const Message& m, TxId tx) {
+  for (const auto& part : sim::payload_parts(m))
+    if (part_belongs_to_write(*part, tx)) return true;
+  return false;
+}
+
+}  // namespace
+
+RotAudit audit_rot(const sim::Trace& trace, std::size_t begin,
+                   std::size_t end, TxId tx, ProcessId client,
+                   const ClusterView& view) {
+  RotAudit audit;
+  audit.tx = tx;
+
+  // Objects requested from each server (for foreign-value detection).
+  std::map<std::uint64_t, std::set<std::uint64_t>> requested;
+  std::map<std::uint64_t, std::set<std::uint64_t>> values_per_object;
+  // Servers that sent a value for each object (Definition 5(2b)).
+  std::map<std::uint64_t, std::set<std::uint64_t>> servers_per_object;
+
+  end = std::min(end, trace.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    const EventRecord& rec = trace.at(i);
+    if (rec.event.kind != Event::Kind::kStep) continue;
+
+    if (rec.event.process == client) {
+      bool sent_request = false;
+      for (const auto& m : rec.sent) {
+        if (!is_server(view, m.dst) || !is_rot_request(m, tx)) continue;
+        sent_request = true;
+        for (const auto& part : sim::payload_parts(m))
+          if (const auto* r = dynamic_cast<const RotRequest*>(part.get()))
+            if (r->tx == tx)
+              for (auto obj : r->objects)
+                requested[m.dst.value()].insert(obj.value());
+      }
+      if (sent_request) ++audit.rounds;
+      continue;
+    }
+
+    if (!is_server(view, rec.event.process)) continue;
+
+    // Server step: did it consume a request of this transaction, and did
+    // it answer within the same step?
+    bool consumed_request = false;
+    for (const auto& m : rec.consumed)
+      if (m.src == client && is_rot_request(m, tx)) consumed_request = true;
+
+    bool replied = false;
+    for (const auto& m : rec.sent) {
+      if (m.dst != client || !is_rot_reply(m, tx)) continue;
+      replied = true;
+      audit.reply_bytes += m.payload->byte_size();
+
+      auto carried = m.payload->values_carried();
+      audit.max_values_per_message =
+          std::max(audit.max_values_per_message, carried.size());
+
+      for (const auto& part : sim::payload_parts(m)) {
+        const auto* rr = dynamic_cast<const RotReply*>(part.get());
+        if (!rr || rr->tx != tx) continue;
+        auto note = [&](ObjectId obj, ValueId v) {
+          if (!v.valid()) return;
+          values_per_object[obj.value()].insert(v.value());
+          servers_per_object[obj.value()].insert(
+              rec.event.process.value());
+          const auto& req = requested[rec.event.process.value()];
+          bool asked = req.count(obj.value()) > 0;
+          bool stored = view.server_stores(rec.event.process, obj);
+          if (!asked || !stored) audit.leaked_foreign_values = true;
+        };
+        for (const auto& item : rr->items) note(item.object, item.value);
+        for (const auto& item : rr->extras) note(item.object, item.value);
+        for (const auto& p : rr->pendings) note(p.object, p.value);
+      }
+    }
+
+    if (consumed_request && !replied) {
+      audit.nonblocking = false;
+      ++audit.deferred_replies;
+    }
+  }
+
+  for (const auto& [obj, vals] : values_per_object)
+    audit.max_values_per_object =
+        std::max(audit.max_values_per_object, vals.size());
+  for (const auto& [obj, servers] : servers_per_object)
+    if (servers.size() > 1) audit.single_server_per_object = false;
+
+  audit.one_round = (audit.rounds == 1);
+  audit.one_value =
+      audit.max_values_per_message <= 1 && !audit.leaked_foreign_values;
+  audit.completed = true;  // refined by callers that know completion status
+  return audit;
+}
+
+std::string RotAudit::summary() const {
+  std::ostringstream os;
+  os << to_string(tx) << ": rounds=" << rounds
+     << " O=" << (one_round ? "yes" : "NO")
+     << " N=" << (nonblocking ? "yes" : cat("NO(", deferred_replies, ")"))
+     << " V=" << (one_value ? "yes" : "NO")
+     << " vals/msg=" << max_values_per_message
+     << " vals/obj=" << max_values_per_object
+     << (leaked_foreign_values ? " foreign-values!" : "")
+     << " bytes=" << reply_bytes << (fast() ? "  [FAST]" : "  [not fast]");
+  return os.str();
+}
+
+WriteAudit audit_write(const sim::Trace& trace, std::size_t begin,
+                       std::size_t end, TxId tx, ProcessId client,
+                       const ClusterView& view) {
+  (void)client;
+  WriteAudit audit;
+  audit.tx = tx;
+  end = std::min(end, trace.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    const EventRecord& rec = trace.at(i);
+    if (rec.event.kind != Event::Kind::kStep) continue;
+    for (const auto& m : rec.sent) {
+      if (!belongs_to_write(m, tx)) continue;
+      ++audit.messages;
+      audit.bytes += m.payload->byte_size();
+      if (is_server(view, m.src) && is_server(view, m.dst))
+        ++audit.server_to_server;
+    }
+  }
+  return audit;
+}
+
+}  // namespace discs::imposs

@@ -1,0 +1,88 @@
+// Fast read-only transaction property monitors (Definition 4 / 5).
+//
+// A read-only transaction is FAST iff
+//   (N) nonblocking  — each server answers in the very computation step in
+//                      which it receives the request;
+//   (O) one-round    — the client sends all its read messages in one
+//                      computation step and completes on their replies;
+//   (V) one-value    — each server-to-client message carries at most one
+//                      written value, for an object stored at that server
+//                      and read by the client.
+//
+// The monitors derive verdicts from the recorded TRACE, not from protocol
+// self-reporting: a protocol that lies about its properties (naivefast) is
+// measured, not believed.  For Table 1 the monitor also reports
+// values-per-object totals across the whole transaction (this is the "V"
+// column convention of the paper's table: Eiger <= 2 because one reply can
+// expose a pending value next to a committed one; COPS <= 2 because a
+// second round re-sends a value for an already-answered object).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "proto/common/cluster.h"
+#include "proto/common/payloads.h"
+#include "sim/trace.h"
+
+namespace discs::imposs {
+
+using discs::proto::ClusterView;
+
+struct RotAudit {
+  TxId tx;
+  bool completed = false;
+
+  /// Number of client computation steps that sent messages to servers
+  /// within the transaction (each is one request "wave" = one round trip).
+  std::size_t rounds = 0;
+
+  /// (O) all requests in one wave, and every reply arrived for that wave.
+  bool one_round = false;
+
+  /// (N) false iff some server consumed a request of this transaction and
+  /// did not send a reply to the client in the same step (deferred reply).
+  bool nonblocking = true;
+  std::size_t deferred_replies = 0;
+
+  /// (V) per the formal definition: max written values carried per
+  /// server->client message, and whether any message leaked values of
+  /// objects not requested from that server.
+  std::size_t max_values_per_message = 0;
+  bool leaked_foreign_values = false;
+  bool one_value = false;
+
+  /// Table-1 "V" column: max distinct values observed per object across
+  /// the whole transaction.
+  std::size_t max_values_per_object = 0;
+
+  /// Definition 5(2b) (partial replication): for each object read, only
+  /// one server of those storing it may send the client a value.
+  bool single_server_per_object = true;
+
+  /// Total server->client payload bytes (metadata-cost experiment).
+  std::size_t reply_bytes = 0;
+
+  bool fast() const { return one_round && nonblocking && one_value; }
+  std::string summary() const;
+};
+
+/// Audits the read-only transaction `tx`, issued by `client`, over trace
+/// records [begin, end).
+RotAudit audit_rot(const sim::Trace& trace, std::size_t begin,
+                   std::size_t end, TxId tx, ProcessId client,
+                   const ClusterView& view);
+
+/// Write-path statistics over a trace window (used by the metadata bench).
+struct WriteAudit {
+  TxId tx;
+  std::size_t messages = 0;      ///< client/server messages of this tx
+  std::size_t bytes = 0;         ///< total payload bytes
+  std::size_t server_to_server = 0;
+};
+
+WriteAudit audit_write(const sim::Trace& trace, std::size_t begin,
+                       std::size_t end, TxId tx, ProcessId client,
+                       const ClusterView& view);
+
+}  // namespace discs::imposs

@@ -1,0 +1,182 @@
+#include "impossibility/scenarios.h"
+
+#include "proto/common/client.h"
+#include "sim/schedule.h"
+
+namespace discs::imposs {
+
+using discs::proto::ClientBase;
+using discs::proto::Cluster;
+using discs::proto::ClusterConfig;
+using discs::proto::Gossip;
+using discs::proto::IdSource;
+using discs::proto::Protocol;
+using discs::proto::TxSpec;
+
+namespace {
+
+/// Fair run that never delivers stabilization gossip — the adversary
+/// delaying exactly the cheap background traffic.
+void run_without_gossip(sim::Simulation& sim, ProcessId waiting_client,
+                        TxId tx, std::size_t budget) {
+  std::size_t spent = 0;
+  std::size_t idle = 0;
+  while (spent < budget) {
+    if (sim.process_as<ClientBase>(waiting_client).has_completed(tx)) return;
+    bool progressed = false;
+    std::vector<MsgId> ids;
+    for (const auto& m : sim.network().in_flight()) {
+      bool has_gossip = false;
+      for (const auto& part : sim::payload_parts(m))
+        has_gossip |= dynamic_cast<const Gossip*>(part.get()) != nullptr;
+      if (!has_gossip) ids.push_back(m.id);
+    }
+    for (auto id : ids) {
+      progressed |= sim.deliver(id);
+      ++spent;
+    }
+    for (std::size_t i = 0; i < sim.process_count(); ++i) {
+      ProcessId p(i);
+      bool had = !sim.network().income_of(p).empty();
+      sim.step(p);
+      ++spent;
+      progressed |= had;
+    }
+    if (progressed) {
+      idle = 0;
+    } else if (++idle > 8) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+RotAudit run_dependency_chase(const Protocol& proto,
+                              const ClusterConfig& ccfg) {
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster = proto.build(sim, ccfg, ids);
+  ProcessId a = cluster.clients[0];
+  ProcessId b = cluster.clients[1];
+  ProcessId reader = cluster.clients[2];
+  ObjectId x0 = cluster.view.objects[0];
+  ObjectId x1 = cluster.view.objects[1];
+  ProcessId p0 = cluster.view.primary(x0);
+
+  // The reader goes first; only its request to p0 is delivered.
+  TxSpec rot = ids.read_tx({x0, x1});
+  std::size_t begin = sim.trace().size();
+  sim.process_as<ClientBase>(reader).invoke(rot);
+  sim.step(reader);
+  if (sim.deliver_between(reader, p0) > 0) sim.step(p0);
+
+  // The causal chain w(X0); r(X0); w(X1) runs among everyone EXCEPT the
+  // reader.
+  std::vector<ProcessId> others;
+  for (std::size_t i = 0; i < sim.process_count(); ++i)
+    if (ProcessId(i) != reader) others.push_back(ProcessId(i));
+  auto run_excl = [&](ProcessId client, const TxSpec& spec) {
+    sim.process_as<ClientBase>(client).invoke(spec);
+    sim::run_fair(sim, others,
+                  [&](const sim::Simulation& s) {
+                    return s.process_as<const ClientBase>(client)
+                        .has_completed(spec.id);
+                  },
+                  60000);
+  };
+  run_excl(a, ids.write_one(x0));
+  run_excl(b, ids.read_tx({x0}));
+  run_excl(b, ids.write_one(x1));
+
+  // Now the rest of the reader's transaction plays out.
+  sim::run_fair(sim, {},
+                [&](const sim::Simulation& s) {
+                  return s.process_as<const ClientBase>(reader)
+                      .has_completed(rot.id);
+                },
+                60000);
+  auto audit = audit_rot(sim.trace(), begin, sim.trace().size(), rot.id,
+                         reader, cluster.view);
+  audit.completed =
+      sim.process_as<ClientBase>(reader).has_completed(rot.id);
+  return audit;
+}
+
+RotAudit run_fracture_chase(const Protocol& proto,
+                            const ClusterConfig& ccfg) {
+  RotAudit audit;
+  if (!proto.supports_write_tx()) return audit;
+
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster = proto.build(sim, ccfg, ids);
+  ProcessId writer = cluster.clients[0];
+  ProcessId reader = cluster.clients[1];
+  ObjectId x0 = cluster.view.objects[0];
+  ObjectId x1 = cluster.view.objects[1];
+  ProcessId p0 = cluster.view.primary(x0);
+
+  TxSpec rot = ids.read_tx({x0, x1});
+  std::size_t begin = sim.trace().size();
+  sim.process_as<ClientBase>(reader).invoke(rot);
+  sim.step(reader);
+  if (sim.deliver_between(reader, p0) > 0) sim.step(p0);
+
+  // The multi-object write transaction runs to completion while the
+  // reader's second request is still in flight.
+  std::vector<ProcessId> others;
+  for (std::size_t i = 0; i < sim.process_count(); ++i)
+    if (ProcessId(i) != reader) others.push_back(ProcessId(i));
+  TxSpec tw = ids.write_tx({x0, x1});
+  sim.process_as<ClientBase>(writer).invoke(tw);
+  sim::run_fair(sim, others,
+                [&](const sim::Simulation& s) {
+                  return s.process_as<const ClientBase>(writer)
+                      .has_completed(tw.id);
+                },
+                60000);
+
+  sim::run_fair(sim, {},
+                [&](const sim::Simulation& s) {
+                  return s.process_as<const ClientBase>(reader)
+                      .has_completed(rot.id);
+                },
+                60000);
+  audit = audit_rot(sim.trace(), begin, sim.trace().size(), rot.id, reader,
+                    cluster.view);
+  audit.completed =
+      sim.process_as<ClientBase>(reader).has_completed(rot.id);
+  return audit;
+}
+
+RotAudit run_stabilization_lag(const Protocol& proto,
+                               const ClusterConfig& ccfg) {
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster = proto.build(sim, ccfg, ids);
+  ProcessId b = cluster.clients[0];
+  ObjectId x1 = cluster.view.objects[1];
+
+  TxSpec w = ids.write_one(x1);
+  sim.process_as<ClientBase>(b).invoke(w);
+  run_without_gossip(sim, b, w.id, 50000);
+
+  TxSpec rot = ids.read_tx(cluster.view.objects);
+  std::size_t begin = sim.trace().size();
+  sim.process_as<ClientBase>(b).invoke(rot);
+  run_without_gossip(sim, b, rot.id, 50000);
+  // Release the gossip so a deferred reply can eventually go out.
+  sim::run_fair(sim, {},
+                [&](const sim::Simulation& s) {
+                  return s.process_as<const ClientBase>(b).has_completed(
+                      rot.id);
+                },
+                60000);
+  auto audit = audit_rot(sim.trace(), begin, sim.trace().size(), rot.id, b,
+                         cluster.view);
+  audit.completed = sim.process_as<ClientBase>(b).has_completed(rot.id);
+  return audit;
+}
+
+}  // namespace discs::imposs

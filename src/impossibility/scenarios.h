@@ -1,0 +1,35 @@
+// Targeted adversarial scenarios, reusable by the auditor, the induction
+// driver and the tests.
+//
+//  - dependency chase: a reader's request reaches the first server before
+//    a causal write chain executes and the second server after; protocols
+//    that are only *conditionally* fast reveal their slow path here.
+//  - stabilization lag: a client writes then immediately reads while the
+//    adversary withholds gossip; snapshot-wait designs must block.
+#pragma once
+
+#include "impossibility/properties.h"
+#include "proto/common/cluster.h"
+
+namespace discs::imposs {
+
+/// Runs the dependency-chase schedule; returns the audit of the reader's
+/// read-only transaction (audit.completed reflects whether it finished).
+RotAudit run_dependency_chase(const discs::proto::Protocol& proto,
+                              const discs::proto::ClusterConfig& ccfg);
+
+/// Runs the stabilization-lag schedule; returns the audit of the client's
+/// post-write read-only transaction.
+RotAudit run_stabilization_lag(const discs::proto::Protocol& proto,
+                               const discs::proto::ClusterConfig& ccfg);
+
+/// Fracture chase (W-supporting protocols only): the reader's request to
+/// the first server is answered BEFORE a multi-object write transaction
+/// executes, its request to the second server after.  Atomic-visibility
+/// repairs (RAMP, Eiger) surface as extra rounds; fat-metadata designs as
+/// extra values.  audit.completed is false if the protocol rejects write
+/// transactions.
+RotAudit run_fracture_chase(const discs::proto::Protocol& proto,
+                            const discs::proto::ClusterConfig& ccfg);
+
+}  // namespace discs::imposs

@@ -1,0 +1,104 @@
+#include "impossibility/visibility.h"
+
+#include "impossibility/properties.h"
+#include "proto/common/client.h"
+#include "sim/schedule.h"
+#include "util/rng.h"
+
+namespace discs::imposs {
+
+using discs::proto::ClientBase;
+using discs::proto::TxSpec;
+
+namespace {
+
+/// One probe run: clone, add reader, read, drive with `drive`.
+/// Returns the read results if the transaction completed.
+std::optional<std::map<ObjectId, ValueId>> one_probe(
+    const sim::Simulation& config, const Protocol& proto,
+    const Cluster& cluster, const TxSpec& rot,
+    const std::function<void(sim::Simulation&, ProcessId)>& drive) {
+  sim::Simulation sim = config;  // deep copy
+  ProcessId reader = proto.add_client(sim, cluster.view);
+  sim.process_as<ClientBase>(reader).invoke(rot);
+  drive(sim, reader);
+  auto& client = sim.process_as<ClientBase>(reader);
+  if (!client.has_completed(rot.id)) return std::nullopt;
+  return client.result_of(rot.id);
+}
+
+}  // namespace
+
+ProbeResult probe_visibility(const sim::Simulation& config,
+                             const Protocol& proto, const Cluster& cluster,
+                             const std::map<ObjectId, ValueId>& expected,
+                             discs::proto::IdSource& ids,
+                             const ProbeOptions& options) {
+  ProbeResult result;
+
+  std::vector<ObjectId> objects;
+  for (const auto& [obj, v] : expected) objects.push_back(obj);
+  TxSpec rot = ids.read_tx(objects);
+
+  auto matches = [&](const std::map<ObjectId, ValueId>& got) {
+    for (const auto& [obj, v] : expected) {
+      auto it = got.find(obj);
+      if (it == got.end() || it->second != v) return false;
+    }
+    return true;
+  };
+
+  // Fair schedule probe; additionally audit whether the probe ROT itself
+  // was fast.
+  std::optional<std::map<ObjectId, ValueId>> fair;
+  {
+    sim::Simulation s = config;
+    ProcessId reader = proto.add_client(s, cluster.view);
+    std::size_t t0 = s.trace().size();
+    s.process_as<ClientBase>(reader).invoke(rot);
+    sim::run_fair(s, {},
+                  [&](const sim::Simulation& sm) {
+                    return sm.process_as<const ClientBase>(reader)
+                        .has_completed(rot.id);
+                  },
+                  options.budget);
+    auto audit = audit_rot(s.trace(), t0, s.trace().size(), rot.id, reader,
+                           cluster.view);
+    auto& client = s.process_as<ClientBase>(reader);
+    audit.completed = client.has_completed(rot.id);
+    result.probe_was_fast = audit.completed && audit.fast();
+    result.probe_audit_summary = audit.summary();
+    if (audit.completed) fair = client.result_of(rot.id);
+  }
+  if (!fair) return result;  // probe could not complete: not visible
+  result.completed = true;
+  result.fair_result = *fair;
+  if (!matches(*fair)) return result;
+
+  // Randomized schedules: the adversary gets options.random_probes tries
+  // to make the reader observe something else.  A probe that fails to
+  // COMPLETE is neutral (the read would finish given more scheduling; it
+  // produced no counterexample); only a completed probe with different
+  // values refutes visibility.
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < options.random_probes; ++i) {
+    Rng probe_rng = rng.split();
+    auto got =
+        one_probe(config, proto, cluster, rot,
+                  [&](sim::Simulation& s, ProcessId reader) {
+                    sim::run_random(s, {}, probe_rng,
+                                    [&](const sim::Simulation& sm) {
+                                      return sm.process_as<const ClientBase>(
+                                                   reader)
+                                          .has_completed(rot.id);
+                                    },
+                                    options.budget);
+                  });
+    if (got && !matches(*got)) return result;
+  }
+
+  result.visible = true;
+  return result;
+}
+
+}  // namespace discs::imposs

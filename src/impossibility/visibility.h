@@ -1,0 +1,54 @@
+// The value-visibility oracle (Definitions 2 / 6).
+//
+// "Value x is visible in C iff in every legal execution from C in which a
+// fresh client executes a read-only transaction reading X, x is returned."
+// The universal quantifier over executions is approximated (DESIGN.md §2)
+// by probing a set of delivery schedules from a snapshot of C: a fresh
+// reader client is added, invokes the read, and the run is driven to
+// completion under each schedule.  The value is reported visible only if
+// every probe returned it.
+//
+// Probing never perturbs the configuration under study: it operates on a
+// deep copy (the simulation is a value).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "proto/common/cluster.h"
+#include "sim/simulation.h"
+
+namespace discs::imposs {
+
+using discs::proto::Cluster;
+using discs::proto::Protocol;
+
+struct ProbeOptions {
+  std::size_t budget = 20000;     ///< max events per probe run
+  std::size_t random_probes = 2;  ///< extra randomized schedules
+  std::uint64_t seed = 42;
+};
+
+struct ProbeResult {
+  bool completed = false;  ///< did the probe transaction finish everywhere
+  bool visible = false;    ///< all probes returned the expected values
+  /// What the fair-schedule probe returned (for diagnostics).
+  std::map<ObjectId, ValueId> fair_result;
+  /// Was the fair-schedule probe ROT itself FAST (Definition 4)?  The
+  /// theorem quantifies over all executions, so a probe that needed extra
+  /// rounds, blocked, or leaked extra values refutes a fast-ROT claim even
+  /// if some earlier benign read looked fast.
+  bool probe_was_fast = false;
+  std::string probe_audit_summary;
+};
+
+/// Probes whether `expected` (object -> value) is visible in configuration
+/// `config`.  `ids` mints the probe transaction id (monotone across probes
+/// so reader ids never collide).
+ProbeResult probe_visibility(const sim::Simulation& config,
+                             const Protocol& proto, const Cluster& cluster,
+                             const std::map<ObjectId, ValueId>& expected,
+                             discs::proto::IdSource& ids,
+                             const ProbeOptions& options = {});
+
+}  // namespace discs::imposs

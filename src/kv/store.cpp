@@ -1,0 +1,117 @@
+#include "kv/store.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/fmt.h"
+
+namespace discs::kv {
+
+const std::vector<Version> VersionedStore::kEmpty;
+
+std::string Version::describe() const {
+  std::ostringstream os;
+  os << to_string(value) << "@" << ts.str();
+  if (!visible) os << " (pending)";
+  if (!invisible_to.empty()) os << " (hidden from " << invisible_to.size()
+                                << " readers)";
+  return os.str();
+}
+
+void VersionedStore::put(ObjectId obj, Version v) {
+  auto& chain = chains_[obj];
+  // Insert keeping ts order; equal timestamps keep insertion order.
+  auto it = std::upper_bound(
+      chain.begin(), chain.end(), v.ts,
+      [](const HlcTimestamp& ts, const Version& w) { return ts < w.ts; });
+  chain.insert(it, std::move(v));
+}
+
+namespace {
+bool servable(const Version& v, TxId reader) {
+  if (!v.visible) return false;
+  if (reader.valid() && v.invisible_to.count(reader)) return false;
+  return true;
+}
+}  // namespace
+
+const Version* VersionedStore::latest_visible(ObjectId obj,
+                                              TxId reader) const {
+  const auto& chain = this->chain(obj);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+    if (servable(*it, reader)) return &*it;
+  return nullptr;
+}
+
+const Version* VersionedStore::latest_visible_at(ObjectId obj,
+                                                 HlcTimestamp at,
+                                                 TxId reader) const {
+  const auto& chain = this->chain(obj);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+    if (it->ts <= at && servable(*it, reader)) return &*it;
+  return nullptr;
+}
+
+const Version* VersionedStore::earliest_visible_from(ObjectId obj,
+                                                     HlcTimestamp at,
+                                                     TxId reader) const {
+  for (const auto& v : chain(obj))
+    if (v.ts >= at && servable(v, reader)) return &v;
+  return nullptr;
+}
+
+const Version* VersionedStore::find_value(ObjectId obj, ValueId value) const {
+  for (const auto& v : chain(obj))
+    if (v.value == value) return &v;
+  return nullptr;
+}
+
+bool VersionedStore::make_visible(ObjectId obj, ValueId value,
+                                  std::set<TxId> invisible_to) {
+  auto it = chains_.find(obj);
+  if (it == chains_.end()) return false;
+  for (auto& v : it->second) {
+    if (v.value == value) {
+      v.visible = true;
+      v.invisible_to = std::move(invisible_to);
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<Version>& VersionedStore::chain(ObjectId obj) const {
+  auto it = chains_.find(obj);
+  return it == chains_.end() ? kEmpty : it->second;
+}
+
+std::vector<ObjectId> VersionedStore::objects() const {
+  std::vector<ObjectId> out;
+  out.reserve(chains_.size());
+  for (const auto& [obj, _] : chains_) out.push_back(obj);
+  return out;
+}
+
+bool VersionedStore::has_pending() const {
+  for (const auto& [_, chain] : chains_)
+    for (const auto& v : chain)
+      if (!v.visible) return true;
+  return false;
+}
+
+std::string VersionedStore::digest() const {
+  std::ostringstream os;
+  for (const auto& [obj, chain] : chains_) {
+    os << to_string(obj) << ":[";
+    for (const auto& v : chain) {
+      os << to_string(v.value) << "@" << v.ts.str()
+         << (v.visible ? "" : "!") << "{";
+      for (auto r : v.invisible_to) os << to_string(r) << ",";
+      os << "} ";
+    }
+    os << "];";
+  }
+  return os.str();
+}
+
+}  // namespace discs::kv

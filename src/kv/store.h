@@ -1,0 +1,102 @@
+// Multi-version object store used by the server implementations.
+//
+// Each server keeps, per object, an append-ordered chain of versions.
+// Versions carry protocol metadata: an HLC timestamp, the writing
+// transaction, causal dependencies, visibility state (some protocols stage
+// versions invisibly until commit or old-reader checks complete) and a
+// per-reader exclusion set (COPS-SNOW).  The store is a plain value type so
+// that server processes remain deep-copyable for configuration snapshots.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clock/clocks.h"
+#include "util/ids.h"
+
+namespace discs::kv {
+
+using discs::ObjectId;
+using discs::TxId;
+using discs::ValueId;
+using discs::clk::HlcTimestamp;
+
+/// A causal dependency: "this version depends on `value` of `object`,
+/// written at `ts`".
+struct Dep {
+  ObjectId object;
+  ValueId value;
+  HlcTimestamp ts;
+
+  friend bool operator==(const Dep&, const Dep&) = default;
+};
+
+/// A sibling write: another (object, value) written by the same transaction.
+/// Fat-metadata protocols embed these in read replies.
+struct Sibling {
+  ObjectId object;
+  ValueId value;
+
+  friend bool operator==(const Sibling&, const Sibling&) = default;
+};
+
+struct Version {
+  ValueId value;
+  TxId tx = TxId::invalid();
+  HlcTimestamp ts;
+  std::vector<Dep> deps;
+  std::vector<Sibling> siblings;
+  bool visible = true;
+  /// ROTs to which this version must never be served (COPS-SNOW old
+  /// readers).
+  std::set<TxId> invisible_to;
+
+  std::string describe() const;
+};
+
+class VersionedStore {
+ public:
+  /// Appends a version to `obj`'s chain.  Chains are kept sorted by (ts,
+  /// insertion order); timestamps need not be distinct across objects.
+  void put(ObjectId obj, Version v);
+
+  /// Latest visible version, skipping versions excluded for `reader`
+  /// (pass TxId::invalid() for no exclusion).  Null if none.
+  const Version* latest_visible(ObjectId obj,
+                                TxId reader = TxId::invalid()) const;
+
+  /// Latest visible version with ts <= `at`, honoring exclusions.
+  const Version* latest_visible_at(ObjectId obj, HlcTimestamp at,
+                                   TxId reader = TxId::invalid()) const;
+
+  /// Earliest visible version with ts >= `at` (dependency re-fetch: "give
+  /// me something at least as new as this dependency").
+  const Version* earliest_visible_from(ObjectId obj, HlcTimestamp at,
+                                       TxId reader = TxId::invalid()) const;
+
+  /// Finds the version holding `value`, visible or not.
+  const Version* find_value(ObjectId obj, ValueId value) const;
+
+  /// Marks the version holding `value` visible, recording which readers it
+  /// must stay hidden from.
+  bool make_visible(ObjectId obj, ValueId value,
+                    std::set<TxId> invisible_to = {});
+
+  const std::vector<Version>& chain(ObjectId obj) const;
+  std::vector<ObjectId> objects() const;
+  bool stores(ObjectId obj) const { return chains_.count(obj) > 0; }
+
+  /// True if any version of any object is still invisible (pending).
+  bool has_pending() const;
+
+  std::string digest() const;
+
+ private:
+  std::map<ObjectId, std::vector<Version>> chains_;
+  static const std::vector<Version> kEmpty;
+};
+
+}  // namespace discs::kv

@@ -1,0 +1,53 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/fmt.h"
+
+namespace discs::metrics {
+
+void Summary::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0 : samples_.front();
+}
+
+double Summary::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0 : samples_.back();
+}
+
+double Summary::percentile(double q) const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  double rank = q * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(rank));
+  auto hi = static_cast<std::size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+std::string Summary::str() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << discs::fixed(mean(), 2)
+     << " p50=" << discs::fixed(percentile(0.5), 2)
+     << " p95=" << discs::fixed(percentile(0.95), 2)
+     << " max=" << discs::fixed(max(), 2);
+  return os.str();
+}
+
+}  // namespace discs::metrics

@@ -1,0 +1,35 @@
+// Latency/size summaries for the benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace discs::metrics {
+
+/// Accumulates samples; computes order statistics on demand.
+class Summary {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// q in [0, 1]; nearest-rank percentile.
+  double percentile(double q) const;
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
+
+  std::string str() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+}  // namespace discs::metrics

@@ -1,0 +1,50 @@
+#include "par/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace discs::par {
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& job,
+                  std::size_t threads) {
+  if (n == 0) return;
+  std::size_t workers = threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : threads;
+  workers = std::min(workers, n);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            job(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+  }  // jthreads join here
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace discs::par

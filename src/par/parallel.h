@@ -1,0 +1,21 @@
+// Monte-Carlo parallelism.
+//
+// The simulator core is deterministic and single-threaded by design (the
+// proof machinery depends on exact replay).  Parallelism lives one level
+// up: independent whole simulations — fuzz seeds, parameter sweep points —
+// run concurrently on a small jthread pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace discs::par {
+
+/// Runs job(i) for i in [0, n) across up to `threads` workers (hardware
+/// concurrency when 0).  Blocks until all jobs finish.  Jobs must be
+/// independent; exceptions escape from the first failing job after all
+/// workers have joined.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& job,
+                  std::size_t threads = 0);
+
+}  // namespace discs::par

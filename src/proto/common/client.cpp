@@ -1,0 +1,128 @@
+#include "proto/common/client.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/fmt.h"
+
+namespace discs::proto {
+
+ClientBase::ClientBase(ProcessId id, ClusterView view)
+    : sim::Process(id), view_(std::move(view)) {}
+
+void ClientBase::invoke(const TxSpec& spec) {
+  DISCS_CHECK_MSG(!active_.has_value(),
+                  "client executes one transaction at a time");
+  DISCS_CHECK_MSG(!spec.read_set.empty() || !spec.write_set.empty(),
+                  "empty transaction");
+  // The paper's proof (and this suite's workloads) use read-only and
+  // write-only transactions; mixed transactions are out of scope for the
+  // client framework.
+  DISCS_CHECK_MSG(spec.read_only() || spec.write_only(),
+                  "mixed read-write transactions are not supported");
+  DISCS_CHECK_MSG(spec.write_set.size() <= 1 || supports_multi_write(),
+                  "protocol does not support multi-object write "
+                  "transactions (the W property)");
+  active_ = spec;
+  started_ = false;
+  read_results_.clear();
+}
+
+std::map<ObjectId, ValueId> ClientBase::result_of(TxId tx) const {
+  auto it = completed_.find(tx);
+  DISCS_CHECK_MSG(it != completed_.end(), "transaction not completed");
+  return it->second;
+}
+
+void ClientBase::on_step(sim::StepContext& ctx,
+                         const std::vector<sim::Message>& inbox) {
+  for (const auto& m : inbox) {
+    for (const auto& part : sim::payload_parts(m)) {
+      sim::Message sub = m;
+      sub.payload = part;
+      on_message(ctx, sub);
+    }
+  }
+
+  if (active_ && !started_) {
+    started_ = true;
+    invoke_seq_ = ctx.now();
+    start_tx(ctx, *active_);
+  } else if (!active_) {
+    on_idle_step(ctx);
+  }
+}
+
+const TxSpec& ClientBase::active_spec() const {
+  DISCS_CHECK_MSG(active_.has_value(), "no active transaction");
+  return *active_;
+}
+
+void ClientBase::deliver_read(ObjectId obj, ValueId value) {
+  DISCS_CHECK(active_.has_value());
+  read_results_[obj] = value;
+}
+
+bool ClientBase::all_reads_delivered() const {
+  DISCS_CHECK(active_.has_value());
+  for (auto obj : active_->read_set)
+    if (!read_results_.count(obj)) return false;
+  return true;
+}
+
+void ClientBase::complete_active(sim::StepContext& ctx) {
+  DISCS_CHECK(active_.has_value());
+
+  hist::TxRecord rec;
+  rec.id = active_->id;
+  rec.client = id();
+  rec.invoked = true;
+  rec.completed = true;
+  rec.invoke_seq = invoke_seq_;
+  rec.complete_seq = ctx.now();
+  for (auto obj : active_->read_set) {
+    hist::ReadOp r;
+    r.object = obj;
+    auto it = read_results_.find(obj);
+    if (it != read_results_.end()) {
+      r.value = it->second;
+      r.responded = true;
+    }
+    rec.reads.push_back(r);
+  }
+  for (const auto& [obj, v] : active_->write_set)
+    rec.writes.push_back({obj, v, /*acked=*/true});
+  history_.add(std::move(rec));
+
+  completed_[active_->id] = read_results_;
+  active_.reset();
+  started_ = false;
+  read_results_.clear();
+}
+
+hist::History collect_history(const sim::Simulation& sim,
+                              const std::vector<ProcessId>& clients,
+                              const std::map<ObjectId, ValueId>& initial) {
+  std::vector<hist::History> parts;
+  hist::History base;
+  for (const auto& [obj, v] : initial) base.set_initial(obj, v);
+  parts.push_back(std::move(base));
+  for (auto cid : clients)
+    parts.push_back(sim.process_as<const ClientBase>(cid).local_history());
+  return hist::merge_histories(parts);
+}
+
+std::string ClientBase::state_digest() const {
+  sim::DigestBuilder b;
+  b.field("active", active_ ? active_->describe() : "-")
+      .field("started", started_);
+  std::ostringstream rr;
+  for (const auto& [obj, v] : read_results_)
+    rr << to_string(obj) << "=" << to_string(v) << ",";
+  b.field("reads", rr.str());
+  b.field("done", completed_.size());
+  b.raw(proto_digest());
+  return b.str();
+}
+
+}  // namespace discs::proto

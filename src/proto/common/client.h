@@ -1,0 +1,85 @@
+// Client base class.
+//
+// The harness invokes transactions via invoke(); the client starts executing
+// the transaction at its next computation step (the paper's client
+// "initiates" the transaction by taking steps).  Protocol subclasses
+// implement start_tx / on_message; the base class records the operation
+// history (invocations, returned values, completion) used by the
+// consistency checkers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+#include "proto/common/cluster.h"
+#include "proto/common/payloads.h"
+#include "sim/process.h"
+
+namespace discs::proto {
+
+class ClientBase : public sim::Process {
+ public:
+  ClientBase(ProcessId id, ClusterView view);
+
+  /// Harness API: schedules `spec` to start at this client's next step.
+  /// A client executes one transaction at a time.  Throws CheckFailure if
+  /// the spec is a multi-object write transaction and the protocol does not
+  /// support those (the W property).
+  void invoke(const TxSpec& spec);
+
+  /// The W property: whether this protocol's transactions may write more
+  /// than one object.
+  virtual bool supports_multi_write() const { return true; }
+
+  bool idle() const { return !active_.has_value(); }
+  bool has_completed(TxId tx) const { return completed_.count(tx) > 0; }
+  /// Values returned for the reads of a completed transaction.
+  std::map<ObjectId, ValueId> result_of(TxId tx) const;
+
+  const hist::History& local_history() const { return history_; }
+
+  // --- sim::Process ---
+  void on_step(sim::StepContext& ctx,
+               const std::vector<sim::Message>& inbox) final;
+  std::string state_digest() const final;
+
+ protected:
+  /// Begin executing the active transaction: typically fan out requests.
+  virtual void start_tx(sim::StepContext& ctx, const TxSpec& spec) = 0;
+  /// Handle one incoming message.
+  virtual void on_message(sim::StepContext& ctx, const sim::Message& m) = 0;
+  /// Called on steps with no pending invocation (for retries/timers).
+  virtual void on_idle_step(sim::StepContext&) {}
+  /// Protocol-specific part of the state digest.
+  virtual std::string proto_digest() const = 0;
+
+  // --- helpers for subclasses ---
+  const ClusterView& view() const { return view_; }
+  bool has_active() const { return active_.has_value() && started_; }
+  const TxSpec& active_spec() const;
+  /// Records the value returned for one read of the active transaction.
+  void deliver_read(ObjectId obj, ValueId value);
+  bool all_reads_delivered() const;
+  /// Completes the active transaction and records it in the history.
+  void complete_active(sim::StepContext& ctx);
+
+ private:
+  ClusterView view_;
+  std::optional<TxSpec> active_;
+  bool started_ = false;
+  std::uint64_t invoke_seq_ = 0;
+  std::map<ObjectId, ValueId> read_results_;
+  std::map<TxId, std::map<ObjectId, ValueId>> completed_;
+  hist::History history_;
+};
+
+/// Merges the local histories of the given clients with the initial-value
+/// declarations into one checkable history.
+hist::History collect_history(const sim::Simulation& sim,
+                              const std::vector<ProcessId>& clients,
+                              const std::map<ObjectId, ValueId>& initial);
+
+}  // namespace discs::proto

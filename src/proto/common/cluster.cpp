@@ -1,0 +1,111 @@
+#include "proto/common/cluster.h"
+
+#include <algorithm>
+
+#include "proto/common/server.h"
+#include "util/check.h"
+
+namespace discs::proto {
+
+ProcessId ClusterView::primary(ObjectId obj) const {
+  return replicas(obj).front();
+}
+
+const std::vector<ProcessId>& ClusterView::replicas(ObjectId obj) const {
+  auto it = placement.find(obj);
+  DISCS_CHECK_MSG(it != placement.end(), "object not placed");
+  DISCS_CHECK(!it->second.empty());
+  return it->second;
+}
+
+bool ClusterView::server_stores(ProcessId server, ObjectId obj) const {
+  for (auto s : replicas(obj))
+    if (s == server) return true;
+  return false;
+}
+
+std::vector<ObjectId> ClusterView::objects_at(ProcessId server) const {
+  std::vector<ObjectId> out;
+  for (auto obj : objects)
+    if (server_stores(server, obj)) out.push_back(obj);
+  return out;
+}
+
+std::size_t ClusterView::server_index(ProcessId server) const {
+  for (std::size_t i = 0; i < servers.size(); ++i)
+    if (servers[i] == server) return i;
+  DISCS_CHECK_MSG(false, "not a server of this cluster");
+  return 0;
+}
+
+std::vector<ProcessId> ClusterView::primaries_for(
+    const std::vector<ObjectId>& objs) const {
+  std::vector<ProcessId> out;
+  for (auto obj : objs) {
+    ProcessId p = primary(obj);
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  }
+  return out;
+}
+
+ClusterView make_view(const ClusterConfig& cfg, ProcessId first_server) {
+  DISCS_CHECK_MSG(cfg.num_servers >= 2, "the model requires m > 1 servers");
+  DISCS_CHECK_MSG(cfg.num_objects >= cfg.num_servers,
+                  "every server must store at least one object");
+  DISCS_CHECK_MSG(cfg.replication >= 1 &&
+                      cfg.replication <= cfg.num_servers,
+                  "invalid replication factor");
+  // Appendix A: under partial replication no server stores all objects.
+  DISCS_CHECK_MSG(cfg.replication == 1 || cfg.replication < cfg.num_servers ||
+                      cfg.num_objects == cfg.num_servers,
+                  "replication must leave no server storing everything");
+
+  ClusterView view;
+  for (std::size_t s = 0; s < cfg.num_servers; ++s)
+    view.servers.push_back(ProcessId(first_server.value() + s));
+  for (std::size_t o = 0; o < cfg.num_objects; ++o) {
+    ObjectId obj(o);
+    view.objects.push_back(obj);
+    std::vector<ProcessId> reps;
+    for (std::size_t r = 0; r < cfg.replication; ++r)
+      reps.push_back(view.servers[(o + r) % cfg.num_servers]);
+    view.placement[obj] = std::move(reps);
+  }
+  return view;
+}
+
+std::map<ProcessId, std::vector<ObjectId>> group_by_primary(
+    const ClusterView& view, const std::vector<ObjectId>& objects) {
+  std::map<ProcessId, std::vector<ObjectId>> out;
+  for (auto obj : objects) out[view.primary(obj)].push_back(obj);
+  return out;
+}
+
+Cluster Protocol::build(sim::Simulation& sim, const ClusterConfig& cfg,
+                        IdSource& ids) const {
+  Cluster cluster;
+  cluster.view = make_view(cfg, sim.next_process_id());
+
+  for (auto sid : cluster.view.servers) {
+    DISCS_CHECK(sid == sim.next_process_id());
+    sim.add_process(
+        make_server(sid, cluster.view, cluster.view.objects_at(sid), cfg));
+  }
+
+  // Seed initial values x_in_i for every object at every replica, yielding
+  // the paper's configuration Q0 (initial values visible, no messages in
+  // transit) directly.
+  for (auto obj : cluster.view.objects) {
+    ValueId v = ids.next_value();
+    cluster.initial_values[obj] = v;
+    for (auto sid : cluster.view.replicas(obj))
+      sim.process_as<ServerBase>(sid).seed(obj, v);
+  }
+
+  for (std::size_t c = 0; c < cfg.num_clients; ++c)
+    cluster.clients.push_back(add_client(sim, cluster.view));
+
+  return cluster;
+}
+
+}  // namespace discs::proto

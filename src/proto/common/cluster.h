@@ -1,0 +1,99 @@
+// Cluster topology and the Protocol factory interface.
+//
+// A cluster has m >= 2 servers, each storing a non-empty set of objects
+// (Section 2).  With replication == 1 the per-server sets are disjoint (the
+// simple model of Theorem 1); with replication > 1 the system is partially
+// replicated (Appendix A): sets overlap but no server stores everything.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/common/tx.h"
+#include "sim/simulation.h"
+
+namespace discs::proto {
+
+/// Immutable description of the cluster every process carries.
+struct ClusterView {
+  std::vector<ProcessId> servers;
+  std::vector<ObjectId> objects;
+  /// object -> replica servers (first entry is the primary).
+  std::map<ObjectId, std::vector<ProcessId>> placement;
+
+  ProcessId primary(ObjectId obj) const;
+  const std::vector<ProcessId>& replicas(ObjectId obj) const;
+  bool server_stores(ProcessId server, ObjectId obj) const;
+  std::vector<ObjectId> objects_at(ProcessId server) const;
+  std::size_t server_index(ProcessId server) const;
+
+  /// The distinct primary servers covering `objs` (used by clients to fan
+  /// out requests).
+  std::vector<ProcessId> primaries_for(const std::vector<ObjectId>& objs) const;
+};
+
+struct ClusterConfig {
+  std::size_t num_servers = 2;
+  std::size_t num_clients = 4;
+  std::size_t num_objects = 2;
+  /// Replicas per object.  1 = disjoint placement (Theorem 1 model);
+  /// >1 = partial replication (Appendix A model).
+  std::size_t replication = 1;
+  /// TrueTime uncertainty half-width for clock-based protocols.
+  std::uint64_t tt_epsilon = 5;
+  /// Servers gossip stabilization info every `gossip_interval` own steps.
+  std::size_t gossip_interval = 1;
+};
+
+/// Result of building a cluster into a simulation.
+struct Cluster {
+  ClusterView view;
+  std::vector<ProcessId> clients;
+  std::map<ObjectId, ValueId> initial_values;
+};
+
+class ServerBase;
+
+/// Factory + self-description of a protocol implementation.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+  /// Does the protocol accept transactions writing more than one object
+  /// (the W property)?
+  virtual bool supports_write_tx() const = 0;
+  /// The consistency level the protocol claims (verified by the benches).
+  virtual std::string consistency_claim() const = 0;
+  /// Does the protocol claim fast read-only transactions (all of N, O, V)?
+  /// The impossibility auditor targets protocols claiming W + fast.
+  virtual bool claims_fast_rot() const = 0;
+
+  /// Builds servers (ids 0..m-1), seeds initial values, then creates
+  /// `cfg.num_clients` clients.  Object placement is round-robin with
+  /// `cfg.replication` replicas.
+  Cluster build(sim::Simulation& sim, const ClusterConfig& cfg,
+                IdSource& ids) const;
+
+  /// Adds one more client to an existing cluster (the proof repeatedly
+  /// needs fresh reader clients c_r^k).
+  virtual ProcessId add_client(sim::Simulation& sim,
+                               const ClusterView& view) const = 0;
+
+ protected:
+  virtual std::unique_ptr<ServerBase> make_server(
+      ProcessId id, const ClusterView& view, std::vector<ObjectId> stored,
+      const ClusterConfig& cfg) const = 0;
+};
+
+/// Computes the round-robin placement used by Protocol::build.
+ClusterView make_view(const ClusterConfig& cfg, ProcessId first_server);
+
+/// Groups objects by their primary server, preserving object order — the
+/// fan-out pattern used by every client: one message per involved server.
+std::map<ProcessId, std::vector<ObjectId>> group_by_primary(
+    const ClusterView& view, const std::vector<ObjectId>& objects);
+
+}  // namespace discs::proto

@@ -1,0 +1,193 @@
+// Shared wire vocabulary.
+//
+// All protocol implementations use these payload types for client-facing
+// traffic (the property monitors of src/impossibility introspect them) and
+// most reuse them for inter-server coordination.  Payloads are immutable
+// after construction.
+//
+// values_carried() reports exactly the *written values* a message exposes,
+// per the one-value property (Definition 4(2)); timestamps, dependency
+// version numbers and other metadata are not reported (footnote 3 of the
+// paper explicitly allows them).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clock/clocks.h"
+#include "kv/store.h"
+#include "sim/message.h"
+
+namespace discs::proto {
+
+using discs::clk::HlcTimestamp;
+using discs::kv::Dep;
+using discs::kv::Sibling;
+using discs::sim::Payload;
+
+/// One object's answer within a read reply.
+struct ReadItem {
+  ObjectId object;
+  ValueId value = ValueId::invalid();
+  HlcTimestamp ts{};
+  std::vector<Dep> deps;        ///< causal dependencies of this version
+  std::vector<Sibling> siblings;  ///< other writes of the same transaction
+
+  std::string describe() const;
+  std::size_t byte_size() const;
+};
+
+/// Information about an in-flight (prepared, uncommitted) write that a
+/// server surfaces to a reading client (Eiger-style).
+struct PendingInfo {
+  ObjectId object;
+  TxId wtx = TxId::invalid();
+  HlcTimestamp proposed_ts{};
+  /// The pending value itself, when the protocol speculatively discloses it
+  /// (this is what makes some replies two-value).
+  ValueId value = ValueId::invalid();
+  ProcessId coordinator = ProcessId::invalid();
+};
+
+/// Client -> server: read request of a read-only transaction.
+struct RotRequest : Payload {
+  TxId tx;
+  int round = 1;
+  std::vector<ObjectId> objects;
+  /// Snapshot timestamp for snapshot-based protocols (Wren round 2,
+  /// GentleRain round 2, Spanner).
+  std::optional<HlcTimestamp> snapshot;
+  /// Per-object minimum timestamps for dependency re-fetch rounds (COPS
+  /// round 2: "give me at least this version").
+  std::map<ObjectId, HlcTimestamp> at_least;
+
+  std::string describe() const override;
+  std::size_t byte_size() const override;
+};
+
+/// Server -> client: read reply.
+struct RotReply : Payload {
+  TxId tx;
+  int round = 1;
+  std::vector<ReadItem> items;    ///< primary per-object answers
+  std::vector<ReadItem> extras;   ///< embedded sibling/dependency values
+  std::vector<PendingInfo> pendings;
+
+  std::string describe() const override;
+  std::vector<ValueId> values_carried() const override;
+  std::size_t byte_size() const override;
+};
+
+/// Client -> any server: ask for a stable snapshot timestamp (Wren round 1).
+struct SnapshotRequest : Payload {
+  TxId tx;
+  std::string describe() const override;
+};
+
+/// Server -> client: the snapshot timestamp.  Carries no values.
+struct SnapshotReply : Payload {
+  TxId tx;
+  HlcTimestamp snapshot;
+  std::string describe() const override;
+};
+
+/// Client -> server: direct write (non-2PC protocols).
+struct WriteRequest : Payload {
+  TxId tx;
+  std::vector<std::pair<ObjectId, ValueId>> writes;
+  std::vector<Dep> deps;
+  std::vector<Sibling> siblings;
+  /// Fat-metadata protocols additionally embed the dependency *values*.
+  std::vector<ReadItem> dep_values;
+  HlcTimestamp client_ts{};
+
+  std::string describe() const override;
+  std::vector<ValueId> values_carried() const override;
+  std::size_t byte_size() const override;
+};
+
+/// Server/coordinator -> client: write acknowledgement.
+struct WriteReply : Payload {
+  TxId tx;
+  bool ok = true;
+  HlcTimestamp ts{};
+  std::string describe() const override;
+};
+
+/// Two-phase commit: prepare (client- or server-coordinated).
+struct Prepare : Payload {
+  TxId tx;
+  ProcessId coordinator = ProcessId::invalid();
+  std::vector<std::pair<ObjectId, ValueId>> writes;  ///< full write set
+  std::vector<Dep> deps;
+  HlcTimestamp client_ts{};
+
+  std::string describe() const override;
+  std::vector<ValueId> values_carried() const override;
+  std::size_t byte_size() const override;
+};
+
+struct PrepareAck : Payload {
+  TxId tx;
+  HlcTimestamp proposed;
+  std::string describe() const override;
+};
+
+struct Commit : Payload {
+  TxId tx;
+  HlcTimestamp commit_ts;
+  std::string describe() const override;
+};
+
+struct CommitAck : Payload {
+  TxId tx;
+  HlcTimestamp commit_ts;
+  std::string describe() const override;
+};
+
+/// Server -> server: periodic stabilization gossip (Wren / GentleRain).
+struct Gossip : Payload {
+  std::size_t origin_index = 0;  ///< server index within the cluster view
+  HlcTimestamp stable;
+  std::uint64_t round = 0;
+  std::string describe() const override;
+};
+
+/// COPS-SNOW: writer's server asks a dependency's server which read-only
+/// transactions have read versions of the listed objects older than the
+/// respective dependency timestamps.  One message may carry several
+/// dependencies to the same server (at most one message per neighbor per
+/// computation step).
+struct OldReaderQuery : Payload {
+  TxId wtx;
+  std::vector<std::pair<ObjectId, HlcTimestamp>> deps;
+  std::string describe() const override;
+  std::size_t byte_size() const override;
+};
+
+struct OldReaderReply : Payload {
+  TxId wtx;
+  std::vector<TxId> old_readers;
+  std::string describe() const override;
+  std::size_t byte_size() const override;
+};
+
+/// Eiger: reader asks a transaction's coordinator whether it committed.
+struct TxStatusQuery : Payload {
+  TxId reader;
+  TxId wtx;
+  std::string describe() const override;
+};
+
+struct TxStatusReply : Payload {
+  TxId reader;
+  TxId wtx;
+  bool committed = false;
+  HlcTimestamp commit_ts{};
+  std::string describe() const override;
+};
+
+}  // namespace discs::proto

@@ -1,0 +1,48 @@
+#include "proto/common/server.h"
+
+#include "util/check.h"
+
+namespace discs::proto {
+
+ServerBase::ServerBase(ProcessId id, ClusterView view,
+                       std::vector<ObjectId> stored)
+    : sim::Process(id), view_(std::move(view)), stored_(std::move(stored)) {
+  DISCS_CHECK_MSG(!stored_.empty(),
+                  "each server stores a non-empty set of objects");
+}
+
+void ServerBase::seed(ObjectId obj, ValueId value) {
+  DISCS_CHECK(stores(obj));
+  kv::Version v;
+  v.value = value;
+  v.ts = {0, 0};
+  v.visible = true;
+  store_.put(obj, std::move(v));
+}
+
+bool ServerBase::stores(ObjectId obj) const {
+  for (auto o : stored_)
+    if (o == obj) return true;
+  return false;
+}
+
+void ServerBase::on_step(sim::StepContext& ctx,
+                         const std::vector<sim::Message>& inbox) {
+  for (const auto& m : inbox) {
+    for (const auto& part : sim::payload_parts(m)) {
+      sim::Message sub = m;
+      sub.payload = part;
+      on_message(ctx, sub);
+    }
+  }
+  on_tick(ctx);
+}
+
+std::string ServerBase::state_digest() const {
+  sim::DigestBuilder b;
+  b.field("store", store_.digest());
+  b.raw(proto_digest());
+  return b.str();
+}
+
+}  // namespace discs::proto

@@ -1,0 +1,46 @@
+// Server base class: owns the versioned store for its object set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kv/store.h"
+#include "proto/common/cluster.h"
+#include "sim/process.h"
+
+namespace discs::proto {
+
+class ServerBase : public sim::Process {
+ public:
+  ServerBase(ProcessId id, ClusterView view, std::vector<ObjectId> stored);
+
+  /// Seeds an initial value (visible, timestamp {0,0}, the paper's x_in).
+  /// Called by Protocol::build before any client runs.
+  void seed(ObjectId obj, ValueId value);
+
+  const kv::VersionedStore& store() const { return store_; }
+  const std::vector<ObjectId>& stored_objects() const { return stored_; }
+  bool stores(ObjectId obj) const;
+
+  // --- sim::Process ---
+  void on_step(sim::StepContext& ctx,
+               const std::vector<sim::Message>& inbox) final;
+  std::string state_digest() const final;
+
+ protected:
+  virtual void on_message(sim::StepContext& ctx, const sim::Message& m) = 0;
+  /// Called once per step after message processing (gossip, deferred work).
+  virtual void on_tick(sim::StepContext&) {}
+  virtual std::string proto_digest() const = 0;
+
+  const ClusterView& view() const { return view_; }
+  kv::VersionedStore& store_mut() { return store_; }
+  std::size_t my_index() const { return view_.server_index(id()); }
+
+ private:
+  ClusterView view_;
+  std::vector<ObjectId> stored_;
+  kv::VersionedStore store_;
+};
+
+}  // namespace discs::proto

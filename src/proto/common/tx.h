@@ -1,0 +1,55 @@
+// Static transactions (paper Section 2).
+//
+// "A (static) transaction T = (R_T, W_T) reads the objects in its read-set
+// and writes the objects in its write-set."  Write values carry fresh
+// ValueIds minted by the harness's IdSource, enforcing the distinct-values
+// assumption.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace discs::proto {
+
+using discs::ObjectId;
+using discs::ProcessId;
+using discs::TxId;
+using discs::ValueId;
+
+struct TxSpec {
+  TxId id;
+  std::vector<ObjectId> read_set;
+  std::vector<std::pair<ObjectId, ValueId>> write_set;
+
+  bool read_only() const { return write_set.empty(); }
+  bool write_only() const { return read_set.empty(); }
+  bool multi_write() const { return write_set.size() > 1; }
+
+  std::string describe() const;
+};
+
+/// Mints globally unique transaction and value ids.  Owned by the harness,
+/// *not* part of simulation state: ids minted before an invocation stay
+/// unique across branched executions.
+class IdSource {
+ public:
+  TxId next_tx() { return TxId(next_tx_++); }
+  ValueId next_value() { return ValueId(next_value_++); }
+
+  /// Convenience constructors for the transaction shapes used throughout
+  /// the paper: read-only over `objects`, write-only over `objects` with
+  /// fresh values, and single writes.
+  TxSpec read_tx(const std::vector<ObjectId>& objects);
+  TxSpec write_tx(const std::vector<ObjectId>& objects);
+  TxSpec write_one(ObjectId object);
+
+ private:
+  std::uint64_t next_tx_ = 1;
+  std::uint64_t next_value_ = 1;
+};
+
+}  // namespace discs::proto

@@ -1,0 +1,47 @@
+#include "proto/registry.h"
+
+#include "proto/cops/cops.h"
+#include "proto/copssnow/copssnow.h"
+#include "proto/eiger/eiger.h"
+#include "proto/fatcops/fatcops.h"
+#include "proto/gentlerain/gentlerain.h"
+#include "proto/naivefast/naivefast.h"
+#include "proto/ramp/ramp.h"
+#include "proto/spanner/spanner.h"
+#include "proto/stubborn/stubborn.h"
+#include "proto/wren/wren.h"
+#include "util/check.h"
+
+namespace discs::proto {
+
+std::vector<std::unique_ptr<Protocol>> all_protocols() {
+  std::vector<std::unique_ptr<Protocol>> out;
+  out.push_back(std::make_unique<cops::Cops>());
+  out.push_back(std::make_unique<gentlerain::GentleRain>());
+  out.push_back(std::make_unique<copssnow::CopsSnow>());
+  out.push_back(std::make_unique<ramp::Ramp>());
+  out.push_back(std::make_unique<eiger::Eiger>());
+  out.push_back(std::make_unique<wren::Wren>());
+  out.push_back(std::make_unique<fatcops::FatCops>());
+  out.push_back(std::make_unique<spanner::Spanner>());
+  out.push_back(std::make_unique<naivefast::NaiveFast>());
+  out.push_back(std::make_unique<stubborn::Stubborn>());
+  return out;
+}
+
+std::vector<std::unique_ptr<Protocol>> correct_protocols() {
+  std::vector<std::unique_ptr<Protocol>> out;
+  for (auto& p : all_protocols())
+    if (p->name() != "naivefast" && p->name() != "stubborn")
+      out.push_back(std::move(p));
+  return out;
+}
+
+std::unique_ptr<Protocol> protocol_by_name(const std::string& name) {
+  for (auto& p : all_protocols())
+    if (p->name() == name) return std::move(p);
+  DISCS_CHECK_MSG(false, "unknown protocol: " + name);
+  return nullptr;
+}
+
+}  // namespace discs::proto

@@ -1,0 +1,22 @@
+// Protocol registry: one place listing every implemented design point.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/common/cluster.h"
+
+namespace discs::proto {
+
+/// All implemented protocols, in Table-1 presentation order.
+std::vector<std::unique_ptr<Protocol>> all_protocols();
+
+/// The protocols that genuinely implement a consistency level (i.e.,
+/// excluding the two pedagogical strawmen naivefast and stubborn).
+std::vector<std::unique_ptr<Protocol>> correct_protocols();
+
+/// Protocol by name; throws CheckFailure for unknown names.
+std::unique_ptr<Protocol> protocol_by_name(const std::string& name);
+
+}  // namespace discs::proto

@@ -1,0 +1,117 @@
+#include "proto/stubborn/stubborn.h"
+
+#include "util/fmt.h"
+
+namespace discs::proto::stubborn {
+
+void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
+  awaiting_.clear();
+  if (spec.read_only()) {
+    for (const auto& [server, objs] : group_by_primary(view(), spec.read_set)) {
+      auto req = std::make_shared<RotRequest>();
+      req->tx = spec.id;
+      req->objects = objs;
+      ctx.send(server, req);
+      awaiting_.insert(server.value());
+    }
+    return;
+  }
+  std::map<ProcessId, std::vector<std::pair<ObjectId, ValueId>>> per_server;
+  for (const auto& [obj, v] : spec.write_set)
+    for (auto replica : view().replicas(obj))
+      per_server[replica].emplace_back(obj, v);
+  for (const auto& [server, writes] : per_server) {
+    auto req = std::make_shared<WriteRequest>();
+    req->tx = spec.id;
+    req->writes = writes;
+    ctx.send(server, req);
+    awaiting_.insert(server.value());
+  }
+}
+
+void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
+  if (const auto* reply = m.as<RotReply>()) {
+    if (!has_active() || reply->tx != active_spec().id) return;
+    for (const auto& item : reply->items) deliver_read(item.object, item.value);
+    awaiting_.erase(m.src.value());
+    if (awaiting_.empty() && all_reads_delivered()) complete_active(ctx);
+    return;
+  }
+  if (const auto* reply = m.as<WriteReply>()) {
+    if (!has_active() || reply->tx != active_spec().id) return;
+    awaiting_.erase(m.src.value());
+    if (awaiting_.empty()) complete_active(ctx);
+    return;
+  }
+}
+
+std::string Client::proto_digest() const {
+  return sim::DigestBuilder().field("await", join(awaiting_, ",")).str();
+}
+
+void Server::on_message(sim::StepContext& ctx, const sim::Message& m) {
+  if (const auto* req = m.as<RotRequest>()) {
+    auto reply = std::make_shared<RotReply>();
+    reply->tx = req->tx;
+    for (auto obj : req->objects) {
+      // Only ever serves visible versions — which stay the initial ones.
+      const kv::Version* v = store().latest_visible(obj);
+      if (v) reply->items.push_back({obj, v->value, v->ts, {}, {}});
+    }
+    ctx.send(m.src, reply);
+    return;
+  }
+  if (const auto* req = m.as<WriteRequest>()) {
+    HlcTimestamp ts = hlc_.observe(req->client_ts, ctx.now());
+    for (const auto& [obj, value] : req->writes) {
+      kv::Version v;
+      v.value = value;
+      v.tx = req->tx;
+      v.ts = ts;
+      v.visible = false;  // stored, acknowledged... and never exposed
+      store_mut().put(obj, std::move(v));
+    }
+    auto reply = std::make_shared<WriteReply>();
+    reply->tx = req->tx;
+    reply->ts = ts;
+    ctx.send(m.src, reply);
+    return;
+  }
+  // Gossip is received and pointedly ignored.
+}
+
+void Server::on_tick(sim::StepContext& ctx) {
+  // While any write is pending, chatter to the other servers forever —
+  // the unbounded communication the induction of Lemma 3 exhibits.
+  if (!store().has_pending()) return;
+  for (auto other : view().servers) {
+    if (other == id()) continue;
+    auto g = std::make_shared<Gossip>();
+    g->origin_index = my_index();
+    g->round = gossip_round_;
+    ctx.send(other, g);
+  }
+  ++gossip_round_;
+}
+
+std::string Server::proto_digest() const {
+  return sim::DigestBuilder()
+      .field("hlc", hlc_.peek().str())
+      .field("gossip", gossip_round_)
+      .str();
+}
+
+ProcessId Stubborn::add_client(sim::Simulation& sim,
+                               const ClusterView& view) const {
+  ProcessId id = sim.next_process_id();
+  sim.add_process(std::make_unique<Client>(id, view));
+  return id;
+}
+
+std::unique_ptr<ServerBase> Stubborn::make_server(
+    ProcessId id, const ClusterView& view, std::vector<ObjectId> stored,
+    const ClusterConfig&) const {
+  return std::make_unique<Server>(id, view, std::move(stored));
+}
+
+}  // namespace discs::proto::stubborn

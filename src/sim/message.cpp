@@ -1,0 +1,56 @@
+#include "sim/message.h"
+
+#include "util/check.h"
+#include "util/fmt.h"
+
+namespace discs::sim {
+
+std::string Message::describe() const {
+  return cat(to_string(id), " ", to_string(src), "->", to_string(dst), " ",
+             payload ? payload->describe() : std::string("<empty>"));
+}
+
+std::string BatchPayload::describe() const {
+  std::string out = "Batch[";
+  for (std::size_t i = 0; i < parts_.size(); ++i)
+    out += (i ? "; " : "") + parts_[i]->describe();
+  return out + "]";
+}
+
+std::vector<ValueId> BatchPayload::values_carried() const {
+  std::vector<ValueId> out;
+  for (const auto& p : parts_)
+    for (auto v : p->values_carried()) out.push_back(v);
+  return out;
+}
+
+std::size_t BatchPayload::byte_size() const {
+  std::size_t n = 8;
+  for (const auto& p : parts_) n += p->byte_size();
+  return n;
+}
+
+std::vector<std::shared_ptr<const Payload>> payload_parts(const Message& m) {
+  if (const auto* batch = m.as<BatchPayload>()) return batch->parts();
+  return {m.payload};
+}
+
+MsgId make_msg_id(ProcessId sender, std::uint64_t sender_seq) {
+  DISCS_CHECK(sender.valid());
+  DISCS_CHECK_MSG(sender.value() < (1ULL << 20),
+                  "process id too large for message id encoding");
+  DISCS_CHECK_MSG(sender_seq < (1ULL << 40), "sender sequence overflow");
+  return MsgId((sender.value() << 40) | sender_seq);
+}
+
+ProcessId msg_sender(MsgId id) {
+  DISCS_CHECK(id.valid());
+  return ProcessId(id.value() >> 40);
+}
+
+std::uint64_t msg_seq(MsgId id) {
+  DISCS_CHECK(id.valid());
+  return id.value() & ((1ULL << 40) - 1);
+}
+
+}  // namespace discs::sim

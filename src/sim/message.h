@@ -1,0 +1,97 @@
+// Messages exchanged between processes.
+//
+// Section 2 of the paper models communication as messages moving between
+// per-link income/outcome buffers.  A message's payload is protocol-defined;
+// the base class exposes just enough introspection for the fast-ROT property
+// monitors: which *written values* a message carries (footnote 3: metadata
+// such as timestamps is allowed and is therefore not reported here) and an
+// approximate serialized size for the metadata-blowup experiment.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace discs::sim {
+
+using discs::MsgId;
+using discs::ObjectId;
+using discs::ProcessId;
+using discs::TxId;
+using discs::ValueId;
+
+/// Base class for protocol message payloads.  Payloads are immutable once
+/// sent; Message holds them via shared_ptr<const Payload> so snapshots of a
+/// simulation share payload storage safely.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Human-readable one-line description, used in execution diagrams.
+  virtual std::string describe() const = 0;
+
+  /// The written values (by any write transaction) that this message makes
+  /// known to its receiver.  The one-value monitor inspects this on
+  /// server-to-client messages (Definition 4, property 2).
+  virtual std::vector<ValueId> values_carried() const { return {}; }
+
+  /// Approximate on-the-wire size in bytes, for the N+O+W metadata-cost
+  /// experiment (Section 3.4: the fat-metadata COPS variant "requires to
+  /// store and communicate a prohibitively big amount of data").
+  virtual std::size_t byte_size() const { return 16; }
+};
+
+/// A message in transit or in an income buffer.  Copyable: the payload is
+/// immutable and shared.
+struct Message {
+  MsgId id;
+  ProcessId src;
+  ProcessId dst;
+  std::shared_ptr<const Payload> payload;
+
+  std::string describe() const;
+
+  template <class T>
+  const T* as() const {
+    return dynamic_cast<const T*>(payload.get());
+  }
+};
+
+/// Aggregates several protocol payloads into the single message a process
+/// may send to one neighbor per computation step.  The model bounds the
+/// NUMBER of messages per step, not their size; when a protocol step
+/// produces several payloads for the same destination, the simulation
+/// batches them automatically and the receiving framework unbatches.
+class BatchPayload : public Payload {
+ public:
+  explicit BatchPayload(std::vector<std::shared_ptr<const Payload>> parts)
+      : parts_(std::move(parts)) {}
+
+  const std::vector<std::shared_ptr<const Payload>>& parts() const {
+    return parts_;
+  }
+
+  std::string describe() const override;
+  std::vector<ValueId> values_carried() const override;
+  std::size_t byte_size() const override;
+
+ private:
+  std::vector<std::shared_ptr<const Payload>> parts_;
+};
+
+/// The individual payloads of a message: the batch parts, or the payload
+/// itself for unbatched messages.
+std::vector<std::shared_ptr<const Payload>> payload_parts(const Message& m);
+
+/// Encodes a message id as (sender, per-sender sequence number).  Minting
+/// ids this way makes them *stable under execution splicing*: a process that
+/// takes the same local steps with the same inputs sends messages with the
+/// same ids regardless of how other processes are interleaved — exactly the
+/// property the proof's indistinguishability arguments rely on.
+MsgId make_msg_id(ProcessId sender, std::uint64_t sender_seq);
+ProcessId msg_sender(MsgId id);
+std::uint64_t msg_seq(MsgId id);
+
+}  // namespace discs::sim

@@ -1,0 +1,85 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/fmt.h"
+
+namespace discs::sim {
+
+void Network::post(Message m) {
+  DISCS_CHECK(m.id.valid());
+  in_flight_.push_back(std::move(m));
+}
+
+bool Network::deliver(MsgId id) {
+  auto it = std::find_if(in_flight_.begin(), in_flight_.end(),
+                         [&](const Message& m) { return m.id == id; });
+  if (it == in_flight_.end()) return false;
+  Message m = std::move(*it);
+  in_flight_.erase(it);
+  income_[m.dst.value()].push_back(std::move(m));
+  return true;
+}
+
+std::vector<Message> Network::drain_income(ProcessId p) {
+  auto it = income_.find(p.value());
+  if (it == income_.end()) return {};
+  std::vector<Message> out = std::move(it->second);
+  income_.erase(it);
+  return out;
+}
+
+std::vector<Message> Network::in_flight_between(ProcessId src,
+                                                ProcessId dst) const {
+  std::vector<Message> out;
+  for (const auto& m : in_flight_)
+    if (m.src == src && m.dst == dst) out.push_back(m);
+  return out;
+}
+
+std::optional<Message> Network::find_in_flight(MsgId id) const {
+  for (const auto& m : in_flight_)
+    if (m.id == id) return m;
+  return std::nullopt;
+}
+
+std::vector<Message> Network::income_of(ProcessId p) const {
+  auto it = income_.find(p.value());
+  if (it == income_.end()) return {};
+  return it->second;
+}
+
+bool Network::idle() const {
+  if (!in_flight_.empty()) return false;
+  for (const auto& [_, buf] : income_)
+    if (!buf.empty()) return false;
+  return true;
+}
+
+std::size_t Network::income_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, buf] : income_) n += buf.size();
+  return n;
+}
+
+std::string Network::digest() const {
+  // Sort message ids for a canonical rendering independent of buffer layout.
+  std::vector<std::uint64_t> flight;
+  flight.reserve(in_flight_.size());
+  for (const auto& m : in_flight_) flight.push_back(m.id.value());
+  std::sort(flight.begin(), flight.end());
+
+  std::vector<std::string> incomes;
+  for (const auto& [pid, buf] : income_) {
+    if (buf.empty()) continue;
+    std::vector<std::uint64_t> ids;
+    for (const auto& m : buf) ids.push_back(m.id.value());
+    incomes.push_back(cat("in[", pid, "]={",
+                          join(ids, ","), "}"));
+  }
+  std::sort(incomes.begin(), incomes.end());
+  return cat("flight={", join(flight, ","), "};", join(incomes, ";"));
+}
+
+}  // namespace discs::sim

@@ -1,0 +1,61 @@
+// Network buffers.
+//
+// Section 2: each link has an outcome buffer at the source and an income
+// buffer at the destination.  A delivery event moves a message from the
+// source's outcome buffer to the destination's income buffer; a computation
+// step drains the destination's income buffers.  Links do not lose, modify,
+// inject or duplicate messages; delivery *order* is chosen by the adversary
+// (the system is asynchronous), so the outcome buffer is a set from which
+// any element may be delivered next.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace discs::sim {
+
+class Network {
+ public:
+  /// Places a freshly sent message into the source's outcome buffer.
+  void post(Message m);
+
+  /// Delivery event: moves message `id` into its destination's income
+  /// buffer.  Returns false if no such message is in flight.
+  bool deliver(MsgId id);
+
+  /// Drains and returns the income buffer of `p` (in delivery order).
+  std::vector<Message> drain_income(ProcessId p);
+
+  /// --- queries (all const) ---
+
+  /// Messages sent but not yet delivered, in send order.
+  const std::vector<Message>& in_flight() const { return in_flight_; }
+
+  /// Messages in flight from `src` to `dst`.
+  std::vector<Message> in_flight_between(ProcessId src, ProcessId dst) const;
+
+  /// The undelivered message with the given id, if any.
+  std::optional<Message> find_in_flight(MsgId id) const;
+
+  /// Income buffer of `p` (delivered, not yet consumed).
+  std::vector<Message> income_of(ProcessId p) const;
+
+  /// True iff no message is in flight and all income buffers are empty —
+  /// the "no message is in transit" part of a quiescent configuration.
+  bool idle() const;
+
+  std::size_t in_flight_count() const { return in_flight_.size(); }
+  std::size_t income_count() const;
+
+  /// Digest of buffer contents, part of the configuration digest.
+  std::string digest() const;
+
+ private:
+  std::vector<Message> in_flight_;
+  std::unordered_map<std::uint64_t, std::vector<Message>> income_;
+};
+
+}  // namespace discs::sim

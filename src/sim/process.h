@@ -1,0 +1,107 @@
+// The process state-machine interface.
+//
+// Section 2: "Each process is modelled as a state machine... a computation
+// step taken by a process, in which the process reads all messages residing
+// in its income buffers, performs some local computation and may send (at
+// most) one message to each of its neighboring processes."
+//
+// Processes must be deep-copyable (clone) so that a whole configuration can
+// be snapshotted, branched and rolled back — the mechanism behind executing
+// the proof's constructions.  They must also expose a state digest so that
+// indistinguishability of configurations ("p is in the same state in both")
+// can be checked mechanically.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+#include "util/check.h"
+
+namespace discs::sim {
+
+/// Passed to Process::on_step; collects outgoing messages and enforces the
+/// at-most-one-message-per-neighbor rule of the model.
+class StepContext {
+ public:
+  StepContext(ProcessId self, std::uint64_t now) : self_(self), now_(now) {}
+
+  ProcessId self() const { return self_; }
+
+  /// Virtual time: the number of events executed so far in this execution.
+  /// Purely asynchronous protocols must not depend on it; the simulated
+  /// TrueTime clock (src/clock) derives bounded-uncertainty readings from it.
+  std::uint64_t now() const { return now_; }
+
+  /// Queues a message to `dst`.  At most one send per destination per step
+  /// (enforced when the simulation posts the messages).
+  void send(ProcessId dst, std::shared_ptr<const Payload> payload) {
+    DISCS_CHECK(payload != nullptr);
+    outgoing_.emplace_back(dst, std::move(payload));
+  }
+
+  template <class P, class... Args>
+  void send_make(ProcessId dst, Args&&... args) {
+    send(dst, std::make_shared<const P>(std::forward<Args>(args)...));
+  }
+
+  /// Outgoing (dst, payload) pairs accumulated this step.
+  const std::vector<std::pair<ProcessId, std::shared_ptr<const Payload>>>&
+  outgoing() const {
+    return outgoing_;
+  }
+
+ private:
+  ProcessId self_;
+  std::uint64_t now_;
+  std::vector<std::pair<ProcessId, std::shared_ptr<const Payload>>> outgoing_;
+};
+
+/// Abstract process (client or server).
+class Process {
+ public:
+  explicit Process(ProcessId id) : id_(id) {}
+  virtual ~Process() = default;
+
+  Process(const Process&) = default;
+  Process& operator=(const Process&) = delete;
+
+  /// Deep copy preserving all local state.
+  virtual std::unique_ptr<Process> clone() const = 0;
+
+  /// One computation step: `inbox` contains every message drained from the
+  /// income buffers (possibly none).  Outgoing messages go through `ctx`.
+  virtual void on_step(StepContext& ctx, const std::vector<Message>& inbox) = 0;
+
+  /// Deterministic digest of the local state, used to check configuration
+  /// indistinguishability.  Two processes with equal digests must behave
+  /// identically on identical future inputs.
+  virtual std::string state_digest() const = 0;
+
+  ProcessId id() const { return id_; }
+
+ private:
+  ProcessId id_;
+};
+
+/// Helper for building state digests field by field.
+class DigestBuilder {
+ public:
+  template <class T>
+  DigestBuilder& field(const std::string& name, const T& value) {
+    os_ << name << "=" << value << ";";
+    return *this;
+  }
+  DigestBuilder& raw(const std::string& s) {
+    os_ << s << ";";
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace discs::sim

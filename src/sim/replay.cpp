@@ -1,0 +1,32 @@
+#include "sim/replay.h"
+
+#include "util/fmt.h"
+
+namespace discs::sim {
+
+ReplayResult replay(Simulation& sim, std::span<const Event> events,
+                    const ReplayOptions& options) {
+  ReplayResult result;
+  for (const auto& e : events) {
+    if (e.kind == Event::Kind::kStep) {
+      sim.step(e.process);
+      ++result.applied;
+      continue;
+    }
+    if (sim.deliver(e.msg)) {
+      ++result.applied;
+      continue;
+    }
+    if (options.skip_missing_deliveries) {
+      result.skipped.push_back(e);
+      continue;
+    }
+    result.error = cat("replay: message ", to_string(e.msg),
+                       " not in flight at event ", result.applied);
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace discs::sim

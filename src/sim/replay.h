@@ -1,0 +1,45 @@
+// Replaying (possibly spliced) event sequences onto a configuration.
+//
+// The impossibility proof builds executions like beta_new = beta_p · beta_s
+// by filtering a recorded execution and applying the filtered sequence from
+// an earlier configuration, then argues the result is legal.  Because DISCS
+// mints message ids as (sender, per-sender sequence), a process that takes
+// the same steps with the same inputs re-sends messages under the same ids,
+// so delivery events recorded in the original execution remain meaningful in
+// the spliced one.
+//
+// A delivery event whose message does not exist in the spliced execution
+// (because its sender's step was filtered out) is exactly the situation the
+// proof's legality arguments rule out; the replayer either skips such
+// deliveries (recording them) or fails, per ReplayOptions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace discs::sim {
+
+struct ReplayOptions {
+  /// If true, a delivery of a message not in flight is skipped and counted;
+  /// if false it aborts the replay.
+  bool skip_missing_deliveries = false;
+};
+
+struct ReplayResult {
+  bool ok = false;
+  std::size_t applied = 0;            ///< events successfully applied
+  std::vector<Event> skipped;         ///< deliveries skipped (if allowed)
+  std::string error;                  ///< failure description if !ok
+
+  /// A replay is "clean" when it applied everything without skips — the
+  /// code-level counterpart of the proof's legality of a spliced execution.
+  bool clean() const { return ok && skipped.empty(); }
+};
+
+ReplayResult replay(Simulation& sim, std::span<const Event> events,
+                    const ReplayOptions& options = {});
+
+}  // namespace discs::sim

@@ -1,0 +1,131 @@
+#include "sim/schedule.h"
+
+namespace discs::sim {
+
+std::vector<ProcessId> all_processes(const Simulation& sim) {
+  std::vector<ProcessId> out;
+  out.reserve(sim.process_count());
+  for (std::size_t i = 0; i < sim.process_count(); ++i)
+    out.push_back(ProcessId(i));
+  return out;
+}
+
+RunStats run_fair(Simulation& sim, const std::vector<ProcessId>& participants,
+                  const StopCondition& stop, std::size_t budget,
+                  std::size_t max_idle_rounds) {
+  std::vector<ProcessId> parts =
+      participants.empty() ? all_processes(sim) : participants;
+  RunStats stats;
+
+  auto within = [&](ProcessId p) {
+    for (auto q : parts)
+      if (q == p) return true;
+    return false;
+  };
+
+  std::size_t idle_rounds = 0;
+  while (stats.events() < budget) {
+    if (stop && stop(sim)) {
+      stats.stopped_by_condition = true;
+      return stats;
+    }
+    bool progressed = false;
+
+    // Deliver every message currently in flight between participants.
+    std::vector<MsgId> ids;
+    for (const auto& m : sim.network().in_flight())
+      if (within(m.src) && within(m.dst)) ids.push_back(m.id);
+    for (auto id : ids) {
+      if (stats.events() >= budget) return stats;
+      if (sim.deliver(id)) {
+        ++stats.deliveries;
+        progressed = true;
+        if (stop && stop(sim)) {
+          stats.stopped_by_condition = true;
+          return stats;
+        }
+      }
+    }
+
+    // Step each participant once.
+    for (auto p : parts) {
+      if (stats.events() >= budget) return stats;
+      bool had_income = !sim.network().income_of(p).empty();
+      std::size_t sent_before = sim.network().in_flight_count();
+      sim.step(p);
+      ++stats.steps;
+      if (had_income || sim.network().in_flight_count() != sent_before)
+        progressed = true;
+      if (stop && stop(sim)) {
+        stats.stopped_by_condition = true;
+        return stats;
+      }
+    }
+
+    if (progressed) {
+      idle_rounds = 0;
+    } else if (++idle_rounds > max_idle_rounds) {
+      return stats;  // nothing to do, even after letting time pass
+    }
+  }
+  return stats;
+}
+
+RunStats run_to_quiescence(Simulation& sim,
+                           const std::vector<ProcessId>& participants,
+                           std::size_t budget) {
+  return run_fair(sim, participants, nullptr, budget, 32);
+}
+
+RunStats run_random(Simulation& sim,
+                    const std::vector<ProcessId>& participants, Rng& rng,
+                    const StopCondition& stop, std::size_t budget) {
+  std::vector<ProcessId> parts =
+      participants.empty() ? all_processes(sim) : participants;
+  RunStats stats;
+
+  auto within = [&](ProcessId p) {
+    for (auto q : parts)
+      if (q == p) return true;
+    return false;
+  };
+
+  std::size_t idle_rounds = 0;
+  while (stats.events() < budget) {
+    if (stop && stop(sim)) {
+      stats.stopped_by_condition = true;
+      return stats;
+    }
+
+    std::vector<MsgId> deliverable;
+    for (const auto& m : sim.network().in_flight())
+      if (within(m.src) && within(m.dst)) deliverable.push_back(m.id);
+
+    // Bias toward delivery so protocols with background traffic cannot
+    // outpace the network indefinitely; step events still occur often
+    // enough to drive all local state machines.
+    bool do_deliver = !deliverable.empty() && rng.chance(0.7);
+    if (do_deliver) {
+      MsgId id = deliverable[rng.pick_index(deliverable.size())];
+      if (sim.deliver(id)) ++stats.deliveries;
+      idle_rounds = 0;
+    } else {
+      ProcessId p = parts[rng.pick_index(parts.size())];
+      bool had_income = !sim.network().income_of(p).empty();
+      std::size_t before = sim.network().in_flight_count();
+      sim.step(p);
+      ++stats.steps;
+      if (!had_income && sim.network().in_flight_count() == before &&
+          deliverable.empty()) {
+        // Generous idle allowance: deferred work (commit-wait, GST
+        // catch-up) wakes up as idle steps advance virtual time.
+        if (++idle_rounds > 32 * parts.size()) return stats;
+      } else {
+        idle_rounds = 0;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace discs::sim

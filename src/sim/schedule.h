@@ -1,0 +1,59 @@
+// Canned schedulers.
+//
+// The adversary of the proof chooses events by hand (src/impossibility);
+// for ordinary operation — running protocols under workloads — these helpers
+// provide fair and randomized schedules.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace discs::sim {
+
+/// A predicate evaluated between events; scheduling stops when it returns
+/// true.  Receives the simulation after each applied event.
+using StopCondition = std::function<bool(const Simulation&)>;
+
+struct RunStats {
+  std::size_t steps = 0;
+  std::size_t deliveries = 0;
+  bool stopped_by_condition = false;  ///< vs exhausted the budget
+
+  std::size_t events() const { return steps + deliveries; }
+};
+
+/// Round-robin fair scheduler: repeatedly delivers every in-flight message
+/// (in send order) and steps every process in `participants` (all processes
+/// if empty), until `stop` holds, `budget` events were applied, or
+/// `max_idle_rounds` consecutive rounds made no progress.  Idle rounds keep
+/// stepping processes, which advances virtual time — protocols with
+/// time-based deferred work (Spanner's commit-wait, GentleRain's GST
+/// catch-up) wake up during them.  This yields the "executes solo" runs of
+/// the paper when `participants` is restricted to one client plus the
+/// servers.
+RunStats run_fair(Simulation& sim, const std::vector<ProcessId>& participants,
+                  const StopCondition& stop, std::size_t budget = 100000,
+                  std::size_t max_idle_rounds = 128);
+
+/// Runs until the network is idle and one extra step of every participant
+/// produces no new messages (a quiescence heuristic for protocols that go
+/// silent when they have nothing to do).  Note: protocols that gossip
+/// forever never satisfy this; use the budget.
+RunStats run_to_quiescence(Simulation& sim,
+                           const std::vector<ProcessId>& participants,
+                           std::size_t budget = 100000);
+
+/// Randomized scheduler: each round flips between delivering a random
+/// in-flight message and stepping a random participant.  Used by the fuzz
+/// tests to explore schedules; fully reproducible from the Rng seed.
+RunStats run_random(Simulation& sim,
+                    const std::vector<ProcessId>& participants, Rng& rng,
+                    const StopCondition& stop, std::size_t budget = 100000);
+
+/// All process ids currently in the simulation.
+std::vector<ProcessId> all_processes(const Simulation& sim);
+
+}  // namespace discs::sim

@@ -1,0 +1,140 @@
+#include "sim/simulation.h"
+
+#include <sstream>
+
+#include "util/fmt.h"
+
+namespace discs::sim {
+
+Simulation::Simulation(const Simulation& other)
+    : send_seq_(other.send_seq_),
+      net_(other.net_),
+      trace_(other.trace_),
+      now_(other.now_) {
+  procs_.reserve(other.procs_.size());
+  for (const auto& p : other.procs_) procs_.push_back(p->clone());
+}
+
+Simulation& Simulation::operator=(const Simulation& other) {
+  if (this == &other) return *this;
+  Simulation copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+ProcessId Simulation::add_process(std::unique_ptr<Process> p) {
+  DISCS_CHECK(p != nullptr);
+  DISCS_CHECK_MSG(p->id() == next_process_id(),
+                  "process id must equal next_process_id()");
+  ProcessId id = p->id();
+  procs_.push_back(std::move(p));
+  send_seq_.push_back(0);
+  return id;
+}
+
+Process& Simulation::process(ProcessId p) {
+  DISCS_CHECK_MSG(p.valid() && p.value() < procs_.size(), "unknown process");
+  return *procs_[p.value()];
+}
+
+const Process& Simulation::process(ProcessId p) const {
+  DISCS_CHECK_MSG(p.valid() && p.value() < procs_.size(), "unknown process");
+  return *procs_[p.value()];
+}
+
+void Simulation::step(ProcessId p) {
+  Process& proc = process(p);
+  std::vector<Message> inbox = net_.drain_income(p);
+
+  StepContext ctx(p, now_);
+  proc.on_step(ctx, inbox);
+
+  EventRecord rec;
+  rec.event = Event::step(p);
+  rec.consumed = inbox;
+
+  // The model allows at most one message per neighbor per computation
+  // step; several payloads to one destination are batched into a single
+  // message (message size is unbounded in the model).
+  std::vector<ProcessId> dst_order;
+  std::vector<std::vector<std::shared_ptr<const Payload>>> grouped;
+  for (const auto& [dst, payload] : ctx.outgoing()) {
+    DISCS_CHECK_MSG(dst.valid() && dst.value() < procs_.size(),
+                    "send to unknown process");
+    DISCS_CHECK_MSG(dst != p, "self-send not allowed");
+    std::size_t slot = dst_order.size();
+    for (std::size_t i = 0; i < dst_order.size(); ++i)
+      if (dst_order[i] == dst) slot = i;
+    if (slot == dst_order.size()) {
+      dst_order.push_back(dst);
+      grouped.emplace_back();
+    }
+    grouped[slot].push_back(payload);
+  }
+  for (std::size_t i = 0; i < dst_order.size(); ++i) {
+    Message m;
+    m.id = make_msg_id(p, send_seq_[p.value()]++);
+    m.src = p;
+    m.dst = dst_order[i];
+    m.payload = grouped[i].size() == 1
+                    ? grouped[i].front()
+                    : std::make_shared<const BatchPayload>(grouped[i]);
+    rec.sent.push_back(m);
+    net_.post(std::move(m));
+  }
+
+  trace_.record(std::move(rec));
+  ++now_;
+}
+
+bool Simulation::deliver(MsgId id) {
+  auto found = net_.find_in_flight(id);
+  if (!found) return false;
+  bool ok = net_.deliver(id);
+  DISCS_CHECK(ok);
+
+  EventRecord rec;
+  rec.event = Event::deliver(id);
+  rec.delivered = *found;
+  trace_.record(std::move(rec));
+  ++now_;
+  return true;
+}
+
+bool Simulation::apply(const Event& e) {
+  if (e.kind == Event::Kind::kStep) {
+    step(e.process);
+    return true;
+  }
+  return deliver(e.msg);
+}
+
+std::size_t Simulation::deliver_between(ProcessId src, ProcessId dst) {
+  auto msgs = net_.in_flight_between(src, dst);
+  for (const auto& m : msgs) deliver(m.id);
+  return msgs.size();
+}
+
+std::size_t Simulation::deliver_all() {
+  std::size_t n = 0;
+  // Snapshot ids first: delivering does not create messages, but iterate
+  // over a stable list for clarity.
+  std::vector<MsgId> ids;
+  for (const auto& m : net_.in_flight()) ids.push_back(m.id);
+  for (auto id : ids) n += deliver(id) ? 1 : 0;
+  return n;
+}
+
+std::string Simulation::digest() const {
+  std::ostringstream os;
+  for (const auto& p : procs_)
+    os << to_string(p->id()) << ":{" << p->state_digest() << "} ";
+  os << "net:{" << net_.digest() << "}";
+  return os.str();
+}
+
+std::string Simulation::process_digest(ProcessId p) const {
+  return process(p).state_digest();
+}
+
+}  // namespace discs::sim

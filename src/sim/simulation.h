@@ -1,0 +1,106 @@
+// The simulation: a configuration plus the machinery to apply events to it.
+//
+// A Simulation value *is* a configuration in the paper's sense: the states
+// of all processes plus the contents of all buffers.  Simulations are
+// copyable; a copy is a snapshot from which alternative executions can be
+// branched — the mechanical counterpart of the proof's "let C be the
+// configuration reached when tau is applied from C0, now consider a
+// different execution from C".
+//
+// The adversary drives the simulation through two primitives, matching the
+// two event kinds of the model: step(p) (computation step by process p) and
+// deliver(m) (delivery event for message m).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/trace.h"
+
+namespace discs::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+
+  Simulation(const Simulation& other);
+  Simulation& operator=(const Simulation& other);
+  Simulation(Simulation&&) noexcept = default;
+  Simulation& operator=(Simulation&&) noexcept = default;
+
+  /// The id the next add_process call will assign.
+  ProcessId next_process_id() const { return ProcessId(procs_.size()); }
+
+  /// Registers a process.  Its id must equal next_process_id(); the typical
+  /// pattern is `auto id = sim.next_process_id(); sim.add_process(
+  /// std::make_unique<MyProc>(id, ...));`.
+  ProcessId add_process(std::unique_ptr<Process> p);
+
+  std::size_t process_count() const { return procs_.size(); }
+
+  Process& process(ProcessId p);
+  const Process& process(ProcessId p) const;
+
+  template <class T>
+  T& process_as(ProcessId p) {
+    auto* t = dynamic_cast<T*>(&process(p));
+    DISCS_CHECK_MSG(t != nullptr, "process has unexpected type");
+    return *t;
+  }
+  template <class T>
+  const T& process_as(ProcessId p) const {
+    const auto* t = dynamic_cast<const T*>(&process(p));
+    DISCS_CHECK_MSG(t != nullptr, "process has unexpected type");
+    return *t;
+  }
+
+  /// Computation step by `p`: drains p's income buffers, runs p's state
+  /// machine, posts at most one message per neighbor.  Records the event.
+  void step(ProcessId p);
+
+  /// Delivery event for message `id`.  Returns false (and records nothing)
+  /// if the message is not in flight.
+  bool deliver(MsgId id);
+
+  /// Applies a pre-chosen event.  Returns false for an inapplicable
+  /// delivery.
+  bool apply(const Event& e);
+
+  /// Delivers every message currently in flight from `src` to `dst`,
+  /// in send order.  Returns the number delivered.
+  std::size_t deliver_between(ProcessId src, ProcessId dst);
+
+  /// Delivers every message currently in flight (in send order).
+  std::size_t deliver_all();
+
+  const Network& network() const { return net_; }
+  const Trace& trace() const { return trace_; }
+
+  /// Virtual time: number of events applied so far.  Also the tick source
+  /// for the simulated TrueTime clock.
+  std::uint64_t now() const { return now_; }
+
+  /// True iff no message is in flight or pending consumption.
+  bool network_idle() const { return net_.idle(); }
+
+  /// Configuration digest: process states + buffer contents.  Two
+  /// configurations with equal digests are indistinguishable to every
+  /// process (and have identical buffers).
+  std::string digest() const;
+
+  /// Digest of a single process's state, for per-process
+  /// indistinguishability checks.
+  std::string process_digest(ProcessId p) const;
+
+ private:
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<std::uint64_t> send_seq_;  // per-process message sequence
+  Network net_;
+  Trace trace_;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace discs::sim

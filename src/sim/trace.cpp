@@ -1,0 +1,82 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "util/fmt.h"
+
+namespace discs::sim {
+
+std::string Event::describe() const {
+  if (kind == Kind::kStep) return cat("step(", to_string(process), ")");
+  return cat("deliver(", to_string(msg), ")");
+}
+
+std::string EventRecord::describe() const {
+  std::ostringstream os;
+  os << "#" << seq << " " << event.describe();
+  if (event.kind == Event::Kind::kStep) {
+    if (!consumed.empty()) {
+      os << " consumed:[";
+      for (std::size_t i = 0; i < consumed.size(); ++i)
+        os << (i ? ", " : "") << consumed[i].describe();
+      os << "]";
+    }
+    if (!sent.empty()) {
+      os << " sent:[";
+      for (std::size_t i = 0; i < sent.size(); ++i)
+        os << (i ? ", " : "") << sent[i].describe();
+      os << "]";
+    }
+  } else {
+    os << " " << delivered.describe();
+  }
+  return os.str();
+}
+
+void Trace::record(EventRecord rec) {
+  rec.seq = records_.size();
+  records_.push_back(std::move(rec));
+}
+
+std::vector<Event> Trace::events() const { return events_from(0); }
+
+std::vector<Event> Trace::events_from(std::size_t begin) const {
+  std::vector<Event> out;
+  out.reserve(records_.size() - begin);
+  for (std::size_t i = begin; i < records_.size(); ++i)
+    out.push_back(records_[i].event);
+  return out;
+}
+
+std::vector<Message> Trace::messages_sent(std::size_t begin,
+                                          std::size_t end) const {
+  std::vector<Message> out;
+  for (std::size_t i = begin; i < end && i < records_.size(); ++i)
+    for (const auto& m : records_[i].sent) out.push_back(m);
+  return out;
+}
+
+std::string Trace::render(std::size_t begin, std::size_t end) const {
+  std::ostringstream os;
+  for (std::size_t i = begin; i < end && i < records_.size(); ++i)
+    os << records_[i].describe() << "\n";
+  return os.str();
+}
+
+std::vector<Event> filter_events(
+    std::span<const EventRecord> records,
+    const std::function<bool(const EventRecord&)>& keep) {
+  std::vector<Event> out;
+  for (const auto& r : records)
+    if (keep(r)) out.push_back(r.event);
+  return out;
+}
+
+bool has_step_by(std::span<const EventRecord> records, ProcessId p) {
+  for (const auto& r : records)
+    if (r.event.kind == Event::Kind::kStep && r.event.process == p)
+      return true;
+  return false;
+}
+
+}  // namespace discs::sim

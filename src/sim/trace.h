@@ -1,0 +1,80 @@
+// Execution traces.
+//
+// An execution in the paper is a sequence of events: computation steps and
+// delivery events.  The Trace records each event together with the messages
+// consumed and sent, which is what the property monitors and the execution
+// splicing machinery of the impossibility proof operate on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace discs::sim {
+
+/// A schedulable event, as chosen by the adversary.
+struct Event {
+  enum class Kind { kStep, kDeliver };
+  Kind kind = Kind::kStep;
+  ProcessId process;  // the stepping process (kStep only)
+  MsgId msg;          // the delivered message (kDeliver only)
+
+  static Event step(ProcessId p) { return {Kind::kStep, p, MsgId::invalid()}; }
+  static Event deliver(MsgId m) {
+    return {Kind::kDeliver, ProcessId::invalid(), m};
+  }
+
+  friend bool operator==(const Event&, const Event&) = default;
+
+  std::string describe() const;
+};
+
+/// One executed event plus everything observable about it.
+struct EventRecord {
+  Event event;
+  std::uint64_t seq = 0;          ///< position in the trace
+  std::vector<Message> consumed;  ///< messages drained at a step
+  std::vector<Message> sent;      ///< messages emitted at a step
+  Message delivered;              ///< the message moved at a delivery
+
+  std::string describe() const;
+};
+
+class Trace {
+ public:
+  void record(EventRecord rec);
+
+  const std::vector<EventRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  const EventRecord& at(std::size_t i) const { return records_[i]; }
+
+  /// The bare event sequence (for replay).
+  std::vector<Event> events() const;
+  std::vector<Event> events_from(std::size_t begin) const;
+
+  /// All messages sent within [begin, end) of the trace.
+  std::vector<Message> messages_sent(std::size_t begin, std::size_t end) const;
+
+  /// Renders records [begin, end) as a human-readable execution diagram.
+  std::string render(std::size_t begin, std::size_t end) const;
+  std::string render() const { return render(0, records_.size()); }
+
+ private:
+  std::vector<EventRecord> records_;
+};
+
+/// Filters an event-record span down to a bare event sequence, keeping only
+/// records satisfying `keep`.  This is the primitive behind the proof's
+/// subsequence constructions (beta_p, beta_s, rho_p, rho_s, ...).
+std::vector<Event> filter_events(
+    std::span<const EventRecord> records,
+    const std::function<bool(const EventRecord&)>& keep);
+
+/// Convenience: did any record in the span involve a step by `p`?
+bool has_step_by(std::span<const EventRecord> records, ProcessId p);
+
+}  // namespace discs::sim

@@ -1,0 +1,56 @@
+#include "util/fmt.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace discs {
+
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string fixed(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string ascii_table(const std::vector<std::vector<std::string>>& rows,
+                        bool header) {
+  if (rows.empty()) return "";
+  std::size_t cols = 0;
+  for (const auto& r : rows) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& r : rows)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    os << "| ";
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << pad(c < r.size() ? r[c] : "", width[c]);
+      os << (c + 1 < cols ? " | " : " |\n");
+    }
+  };
+  auto emit_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < cols; ++c)
+      os << std::string(width[c] + 2, '-') << "+";
+    os << "\n";
+  };
+
+  emit_rule();
+  std::size_t start = 0;
+  if (header) {
+    emit_row(rows[0]);
+    emit_rule();
+    start = 1;
+  }
+  for (std::size_t i = start; i < rows.size(); ++i) emit_row(rows[i]);
+  emit_rule();
+  return os.str();
+}
+
+}  // namespace discs

@@ -1,0 +1,56 @@
+// Small string-building helpers (GCC 12 lacks <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace discs {
+
+namespace detail {
+inline void cat_into(std::ostringstream&) {}
+template <class T, class... Rest>
+void cat_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  cat_into(os, rest...);
+}
+}  // namespace detail
+
+/// Concatenates any streamable arguments into a string.
+template <class... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  detail::cat_into(os, args...);
+  return os.str();
+}
+
+/// Joins container elements (rendered via `render`) with a separator.
+template <class Container, class Render>
+std::string join(const Container& c, const std::string& sep, Render render) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& e : c) {
+    if (!first) os << sep;
+    first = false;
+    os << render(e);
+  }
+  return os.str();
+}
+
+/// Joins streamable container elements with a separator.
+template <class Container>
+std::string join(const Container& c, const std::string& sep) {
+  return join(c, sep, [](const auto& e) { return e; });
+}
+
+/// Left-pads/truncates a string into a fixed-width column.
+std::string pad(const std::string& s, std::size_t width);
+
+/// Renders a double with the given precision.
+std::string fixed(double v, int precision);
+
+/// Renders a simple aligned ASCII table: rows[0] may be a header.
+std::string ascii_table(const std::vector<std::vector<std::string>>& rows,
+                        bool header = true);
+
+}  // namespace discs

@@ -1,0 +1,83 @@
+// Strong identifier types used across the DISCS library.
+//
+// The paper's model (Section 2) distinguishes processes (clients and
+// servers), objects, transactions and written values.  We give each its own
+// strongly-typed integral id so that, e.g., a ClientId can never be passed
+// where an ObjectId is expected.  All ids are value types, hashable,
+// totally ordered and cheap to copy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace discs {
+
+/// CRTP-free strong typedef over a 64-bit integer.  `Tag` makes distinct
+/// instantiations incompatible types.
+template <class Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  /// Sentinel used for "no id".
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+  static constexpr StrongId invalid() { return StrongId(kInvalid); }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct ProcessIdTag {};
+struct ObjectIdTag {};
+struct TxIdTag {};
+struct ValueIdTag {};
+struct MsgIdTag {};
+
+/// Identifies a process (client or server) in the simulated system graph.
+using ProcessId = StrongId<ProcessIdTag>;
+/// Identifies a stored object (the paper's X_0, X_1, ..., X_N).
+using ObjectId = StrongId<ObjectIdTag>;
+/// Identifies a transaction instance.
+using TxId = StrongId<TxIdTag>;
+/// Identifies a *written value*.  The paper assumes (Section 2) that all
+/// written values are distinct; we enforce this by minting a fresh ValueId
+/// per write, which makes the reads-from relation functional.
+using ValueId = StrongId<ValueIdTag>;
+/// Identifies one message in transit.
+using MsgId = StrongId<MsgIdTag>;
+
+/// Renders an id as e.g. "p3" / "X1" / "T17" / "v42" / "m8"; "-" if invalid.
+template <class Tag>
+std::string id_str(char prefix, StrongId<Tag> id) {
+  if (!id.valid()) return "-";
+  return prefix + std::to_string(id.value());
+}
+
+inline std::string to_string(ProcessId id) { return id_str('p', id); }
+inline std::string to_string(ObjectId id) { return id_str('X', id); }
+inline std::string to_string(TxId id) { return id_str('T', id); }
+inline std::string to_string(ValueId id) { return id_str('v', id); }
+inline std::string to_string(MsgId id) { return id_str('m', id); }
+
+}  // namespace discs
+
+namespace std {
+template <class Tag>
+struct hash<discs::StrongId<Tag>> {
+  size_t operator()(discs::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,37 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace discs {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace discs

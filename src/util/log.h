@@ -1,0 +1,48 @@
+// Minimal leveled logging.
+//
+// The simulator's own record of events is the Trace (src/sim/trace.h); this
+// logger is only for human-facing diagnostics in examples and benches.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace discs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_emit(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <class... Args>
+void log_at(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_emit(level, os.str());
+}
+}  // namespace detail
+
+template <class... Args>
+void log_debug(const Args&... args) {
+  detail::log_at(LogLevel::kDebug, args...);
+}
+template <class... Args>
+void log_info(const Args&... args) {
+  detail::log_at(LogLevel::kInfo, args...);
+}
+template <class... Args>
+void log_warn(const Args&... args) {
+  detail::log_at(LogLevel::kWarn, args...);
+}
+template <class... Args>
+void log_error(const Args&... args) {
+  detail::log_at(LogLevel::kError, args...);
+}
+
+}  // namespace discs

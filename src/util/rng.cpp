@@ -1,0 +1,91 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace discs {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless method.
+  if (bound == 0) return 0;
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+Rng Rng::split() {
+  // Derive a child seed from two draws; adequate stream independence for
+  // simulation purposes.
+  std::uint64_t a = next(), b = next();
+  return Rng(a ^ rotl(b, 32) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+Zipf::Zipf(std::size_t n, double theta) : n_(n), theta_(theta), cdf_(n) {
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    norm += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += (1.0 / std::pow(static_cast<double>(i + 1), theta)) / norm;
+    cdf_[i] = acc;
+  }
+  if (n > 0) cdf_[n - 1] = 1.0;  // guard against fp rounding
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  double u = rng.uniform01();
+  // Binary search the CDF.
+  std::size_t lo = 0, hi = n_;
+  while (lo + 1 < hi) {
+    std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid - 1] <= u)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return (n_ > 0 && cdf_[lo] <= u && lo + 1 < n_) ? lo + 1 : lo;
+}
+
+}  // namespace discs

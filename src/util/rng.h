@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in DISCS (schedulers, workload generators,
+// fuzzers) draws from an explicitly-seeded Rng so that any execution can be
+// reproduced bit-for-bit from its seed.  We use xoshiro256** seeded through
+// SplitMix64, the standard pairing recommended by the xoshiro authors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace discs {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, copyable generator with value
+/// semantics (a snapshot of a simulation snapshots its RNG too).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  Rng() : Rng(0xD15C5D15C5ULL) {}
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.  Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  std::size_t pick_index(std::size_t size) { return below(size); }
+
+  /// Fisher-Yates shuffle of a vector, in place.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each parallel
+  /// Monte-Carlo run its own stream.
+  Rng split();
+
+  friend bool operator==(const Rng&, const Rng&) = default;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Zipfian distribution over {0, ..., n-1} with exponent theta, the usual
+/// skewed-popularity model for key-value workloads (YCSB uses theta=0.99).
+class Zipf {
+ public:
+  Zipf(std::size_t n, double theta);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n
+};
+
+}  // namespace discs

@@ -1,0 +1,142 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace discs::wl {
+
+using discs::proto::ClientBase;
+
+TxSpec next_tx(IdSource& ids, const Cluster& cluster,
+               const WorkloadConfig& cfg, bool allow_multi_write, Rng& rng,
+               const Zipf* zipf) {
+  const auto& objects = cluster.view.objects;
+  auto pick_objects = [&](std::size_t want) {
+    want = std::min(want, objects.size());
+    std::vector<ObjectId> chosen;
+    std::size_t guard = 0;
+    while (chosen.size() < want && guard++ < 64 * want) {
+      std::size_t idx = zipf ? zipf->sample(rng)
+                             : rng.pick_index(objects.size());
+      ObjectId obj = objects[idx];
+      if (std::find(chosen.begin(), chosen.end(), obj) == chosen.end())
+        chosen.push_back(obj);
+    }
+    if (chosen.empty()) chosen.push_back(objects.front());
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+  };
+
+  if (rng.chance(cfg.write_fraction)) {
+    bool multi = allow_multi_write && rng.chance(cfg.multi_write_fraction);
+    return ids.write_tx(pick_objects(multi ? cfg.write_objects : 1));
+  }
+  return ids.read_tx(pick_objects(cfg.read_objects));
+}
+
+WorkloadResult run_workload_sequential(sim::Simulation& sim,
+                                       const Protocol& proto,
+                                       const Cluster& cluster, IdSource& ids,
+                                       const WorkloadConfig& cfg) {
+  WorkloadResult result;
+  Rng rng(cfg.seed);
+  std::optional<Zipf> zipf;
+  if (cfg.zipf_theta > 0)
+    zipf.emplace(cluster.view.objects.size(), cfg.zipf_theta);
+
+  for (std::size_t i = 0; i < cfg.num_txs; ++i) {
+    ProcessId client = cluster.clients[i % cluster.clients.size()];
+    TxSpec spec = next_tx(ids, cluster, cfg, proto.supports_write_tx(), rng,
+                          zipf ? &*zipf : nullptr);
+
+    TxWindow w;
+    w.id = spec.id;
+    w.client = client;
+    w.read_only = spec.read_only();
+    w.trace_begin = sim.trace().size();
+
+    sim.process_as<ClientBase>(client).invoke(spec);
+    sim::run_fair(sim, {},
+                  [&](const sim::Simulation& s) {
+                    return s.process_as<const ClientBase>(client)
+                        .has_completed(spec.id);
+                  },
+                  cfg.budget_per_tx);
+    w.trace_end = sim.trace().size();
+    w.completed =
+        sim.process_as<ClientBase>(client).has_completed(spec.id);
+    if (!w.completed) ++result.incomplete;
+    result.windows.push_back(w);
+  }
+
+  result.history =
+      discs::proto::collect_history(sim, cluster.clients, cluster.initial_values);
+  return result;
+}
+
+WorkloadResult run_workload_concurrent(sim::Simulation& sim,
+                                       const Protocol& proto,
+                                       const Cluster& cluster, IdSource& ids,
+                                       const WorkloadConfig& cfg) {
+  WorkloadResult result;
+  Rng rng(cfg.seed);
+  std::optional<Zipf> zipf;
+  if (cfg.zipf_theta > 0)
+    zipf.emplace(cluster.view.objects.size(), cfg.zipf_theta);
+
+  std::size_t issued = 0;
+  std::map<std::uint64_t, TxId> active;  // client -> running tx
+  std::size_t spent = 0;
+  std::size_t budget = cfg.budget_per_tx * cfg.num_txs;
+
+  while (spent < budget) {
+    // Feed idle clients.
+    for (auto client : cluster.clients) {
+      if (issued >= cfg.num_txs) break;
+      auto it = active.find(client.value());
+      if (it != active.end()) continue;
+      auto& cb = sim.process_as<ClientBase>(client);
+      if (!cb.idle()) continue;
+      TxSpec spec = next_tx(ids, cluster, cfg, proto.supports_write_tx(),
+                            rng, zipf ? &*zipf : nullptr);
+      TxWindow w;
+      w.id = spec.id;
+      w.client = client;
+      w.read_only = spec.read_only();
+      w.trace_begin = sim.trace().size();
+      result.windows.push_back(w);
+      cb.invoke(spec);
+      active[client.value()] = spec.id;
+      ++issued;
+    }
+
+    // Harvest completions.
+    for (auto it = active.begin(); it != active.end();) {
+      auto& cb = sim.process_as<ClientBase>(ProcessId(it->first));
+      if (cb.has_completed(it->second)) {
+        for (auto& w : result.windows)
+          if (w.id == it->second) {
+            w.completed = true;
+            w.trace_end = sim.trace().size();
+          }
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (issued >= cfg.num_txs && active.empty()) break;
+
+    // One randomized event.
+    auto stats = sim::run_random(sim, {}, rng, nullptr, 8);
+    spent += std::max<std::size_t>(stats.events(), 1);
+  }
+
+  result.incomplete = active.size();
+  result.history =
+      discs::proto::collect_history(sim, cluster.clients, cluster.initial_values);
+  return result;
+}
+
+}  // namespace discs::wl

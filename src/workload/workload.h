@@ -1,0 +1,69 @@
+// Workload generation and execution.
+//
+// Two drivers:
+//  - run_workload_sequential: one transaction at a time under the fair
+//    scheduler, recording exact trace windows per transaction — the input
+//    the property monitors need;
+//  - run_workload_concurrent: all clients active at once under a seeded
+//    random scheduler — the input the consistency fuzz tests need.
+#pragma once
+
+#include <vector>
+
+#include "history/history.h"
+#include "proto/common/client.h"
+#include "proto/common/cluster.h"
+#include "sim/schedule.h"
+#include "util/rng.h"
+
+namespace discs::wl {
+
+using discs::proto::Cluster;
+using discs::proto::IdSource;
+using discs::proto::Protocol;
+using discs::proto::TxSpec;
+
+struct WorkloadConfig {
+  std::size_t num_txs = 60;
+  double write_fraction = 0.3;
+  /// Among writes: fraction that write multiple objects (ignored for
+  /// protocols without write-transaction support).
+  double multi_write_fraction = 0.5;
+  std::size_t read_objects = 2;   ///< objects per read-only transaction
+  std::size_t write_objects = 2;  ///< objects per multi-write transaction
+  double zipf_theta = 0.0;        ///< 0 = uniform object choice
+  std::uint64_t seed = 1;
+  std::size_t budget_per_tx = 40000;
+};
+
+/// Draws one transaction spec.
+TxSpec next_tx(IdSource& ids, const Cluster& cluster,
+               const WorkloadConfig& cfg, bool allow_multi_write, Rng& rng,
+               const Zipf* zipf);
+
+struct TxWindow {
+  TxId id;
+  ProcessId client;
+  bool read_only = false;
+  std::size_t trace_begin = 0;
+  std::size_t trace_end = 0;
+  bool completed = false;
+};
+
+struct WorkloadResult {
+  std::vector<TxWindow> windows;
+  hist::History history;
+  std::size_t incomplete = 0;
+};
+
+WorkloadResult run_workload_sequential(sim::Simulation& sim,
+                                       const Protocol& proto,
+                                       const Cluster& cluster, IdSource& ids,
+                                       const WorkloadConfig& cfg);
+
+WorkloadResult run_workload_concurrent(sim::Simulation& sim,
+                                       const Protocol& proto,
+                                       const Cluster& cluster, IdSource& ids,
+                                       const WorkloadConfig& cfg);
+
+}  // namespace discs::wl

@@ -1,0 +1,401 @@
+// Adversarially scheduled anomaly scenarios.
+//
+// Each test constructs, by hand, the schedule in which a protocol's
+// characteristic mechanism matters: COPS' second round, COPS-SNOW's
+// old-reader tracking, RAMP's fractured-read repair (and its causal
+// blind spot), Eiger's pending dance, Wren's client cache, GentleRain's
+// blocking, Spanner's commit-wait.  These are the executable versions of
+// the war stories in the paper's Sections 1 and 3.4.
+#include <gtest/gtest.h>
+
+#include "consistency/checkers.h"
+#include "impossibility/properties.h"
+#include "proto/common/client.h"
+#include "proto/registry.h"
+#include "sim/schedule.h"
+#include "workload/workload.h"
+
+namespace discs {
+namespace {
+
+using proto::ClientBase;
+using proto::Cluster;
+using proto::ClusterConfig;
+using proto::IdSource;
+using proto::Protocol;
+using proto::TxSpec;
+
+struct Scenario {
+  std::unique_ptr<Protocol> protocol;
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster;
+  ObjectId x0, x1;
+  ProcessId p0, p1;
+
+  explicit Scenario(const std::string& name, std::size_t servers = 2,
+                    std::size_t objects = 2)
+      : protocol(proto::protocol_by_name(name)) {
+    ClusterConfig cfg;
+    cfg.num_servers = servers;
+    cfg.num_clients = 5;
+    cfg.num_objects = objects;
+    cluster = protocol->build(sim, cfg, ids);
+    x0 = cluster.view.objects[0];
+    x1 = cluster.view.objects[1];
+    p0 = cluster.view.primary(x0);
+    p1 = cluster.view.primary(x1);
+  }
+
+  ProcessId client(std::size_t i) { return cluster.clients[i]; }
+
+  bool run_tx(ProcessId c, const TxSpec& spec, std::size_t budget = 60000) {
+    sim.process_as<ClientBase>(c).invoke(spec);
+    sim::run_fair(sim, {},
+                  [&](const sim::Simulation& s) {
+                    return s.process_as<const ClientBase>(c).has_completed(
+                        spec.id);
+                  },
+                  budget);
+    return sim.process_as<ClientBase>(c).has_completed(spec.id);
+  }
+
+  /// Runs `spec` on client `c` while process `excluded` takes no steps and
+  /// receives no deliveries.
+  bool run_tx_without(ProcessId c, const TxSpec& spec, ProcessId excluded,
+                      std::size_t budget = 60000) {
+    std::vector<ProcessId> parts;
+    for (std::size_t i = 0; i < sim.process_count(); ++i)
+      if (ProcessId(i) != excluded) parts.push_back(ProcessId(i));
+    sim.process_as<ClientBase>(c).invoke(spec);
+    sim::run_fair(sim, parts,
+                  [&](const sim::Simulation& s) {
+                    return s.process_as<const ClientBase>(c).has_completed(
+                        spec.id);
+                  },
+                  budget);
+    return sim.process_as<ClientBase>(c).has_completed(spec.id);
+  }
+
+  hist::History history() {
+    return proto::collect_history(sim, cluster.clients,
+                                  cluster.initial_values);
+  }
+};
+
+/// The shared adversarial pattern: a reader's request reaches p0 BEFORE a
+/// causal chain (w(X0) by A; r(X0), w(X1) by B) executes, and reaches p1
+/// after.  Returns the audit of the reader's transaction.
+struct ChaseResult {
+  imposs::RotAudit audit;
+  std::map<ObjectId, ValueId> returned;
+  ValueId x0_new, x1_new;
+  bool completed = false;
+};
+
+ChaseResult run_chase(Scenario& s) {
+  ChaseResult out;
+  ProcessId reader = s.client(2);
+  TxSpec rot = s.ids.read_tx({s.x0, s.x1});
+  std::size_t begin = s.sim.trace().size();
+  s.sim.process_as<ClientBase>(reader).invoke(rot);
+  s.sim.step(reader);
+  if (s.sim.deliver_between(reader, s.p0) > 0) s.sim.step(s.p0);
+
+  // The chain runs while the reader sleeps.
+  std::vector<ProcessId> others;
+  for (std::size_t i = 0; i < s.sim.process_count(); ++i)
+    if (ProcessId(i) != reader) others.push_back(ProcessId(i));
+  auto run_excl = [&](ProcessId c, const TxSpec& spec) {
+    s.sim.process_as<ClientBase>(c).invoke(spec);
+    sim::run_fair(s.sim, others,
+                  [&](const sim::Simulation& sm) {
+                    return sm.process_as<const ClientBase>(c).has_completed(
+                        spec.id);
+                  },
+                  60000);
+    return s.sim.process_as<ClientBase>(c).has_completed(spec.id);
+  };
+  TxSpec wa = s.ids.write_one(s.x0);
+  TxSpec rb = s.ids.read_tx({s.x0});
+  TxSpec wb = s.ids.write_one(s.x1);
+  EXPECT_TRUE(run_excl(s.client(0), wa));
+  EXPECT_TRUE(run_excl(s.client(1), rb));
+  EXPECT_TRUE(run_excl(s.client(1), wb));
+  out.x0_new = wa.write_set[0].second;
+  out.x1_new = wb.write_set[0].second;
+
+  sim::run_fair(s.sim, {},
+                [&](const sim::Simulation& sm) {
+                  return sm.process_as<const ClientBase>(reader)
+                      .has_completed(rot.id);
+                },
+                60000);
+  out.completed =
+      s.sim.process_as<ClientBase>(reader).has_completed(rot.id);
+  out.audit = imposs::audit_rot(s.sim.trace(), begin, s.sim.trace().size(),
+                                rot.id, reader, s.cluster.view);
+  if (out.completed)
+    out.returned = s.sim.process_as<ClientBase>(reader).result_of(rot.id);
+  return out;
+}
+
+TEST(Anomalies, CopsSecondRoundRepairsTheChase) {
+  Scenario s("cops");
+  auto r = run_chase(s);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.audit.rounds, 2u) << r.audit.summary();
+  // Either the reader catches both new values or a consistent prefix —
+  // never y1 with the initial x0.
+  if (r.returned[s.x1] == r.x1_new) {
+    EXPECT_EQ(r.returned[s.x0], r.x0_new);
+  }
+  EXPECT_TRUE(cons::check_causal_consistency(s.history()).ok());
+}
+
+TEST(Anomalies, CopsSnowStaysOneRoundAndConsistent) {
+  Scenario s("cops-snow");
+  auto r = run_chase(s);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.audit.rounds, 1u) << r.audit.summary();
+  EXPECT_TRUE(r.audit.fast()) << r.audit.summary();
+  // Old-reader tracking: the reader that saw the initial X0 must NOT be
+  // shown the dependent write on X1.
+  EXPECT_EQ(r.returned[s.x0], s.cluster.initial_values[s.x0]);
+  EXPECT_EQ(r.returned[s.x1], s.cluster.initial_values[s.x1]);
+  EXPECT_TRUE(cons::check_causal_consistency(s.history()).ok())
+      << cons::check_causal_consistency(s.history()).summary();
+}
+
+TEST(Anomalies, RampAdmitsTheCausalAnomalyCopsSnowPrevents) {
+  // RAMP's read-atomicity does not track cross-transaction causality: the
+  // same chase leaves the reader with (initial x0, new y1) — accepted by
+  // the read-atomicity checker, rejected by the causal checker.  This is
+  // the "Read Atomicity" row of Table 1 being genuinely weaker.
+  Scenario s("ramp");
+  auto r = run_chase(s);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.returned[s.x0], s.cluster.initial_values[s.x0]);
+  EXPECT_EQ(r.returned[s.x1], r.x1_new);
+
+  auto h = s.history();
+  EXPECT_TRUE(cons::check_read_atomicity(h).ok())
+      << cons::check_read_atomicity(h).summary();
+  EXPECT_FALSE(cons::check_causal_consistency(h).ok());
+}
+
+TEST(Anomalies, RampRepairsFracturedReadsInTwoRounds) {
+  // A reader scheduled between the two commit messages of a RAMP write
+  // transaction sees its sibling metadata and repairs in round 2.
+  Scenario s("ramp");
+  ProcessId writer = s.client(0);
+  ProcessId reader = s.client(1);
+
+  // Start the write transaction but withhold every message to p1, so p1
+  // holds only the PREPARED version while p0 has committed.
+  TxSpec tw = s.ids.write_tx({s.x0, s.x1});
+  ASSERT_FALSE(s.run_tx_without(writer, tw, s.p1, 4000));
+
+  std::size_t begin = s.sim.trace().size();
+  TxSpec rot = s.ids.read_tx({s.x0, s.x1});
+  ASSERT_TRUE(s.run_tx(reader, rot));
+  auto audit = imposs::audit_rot(s.sim.trace(), begin, s.sim.trace().size(),
+                                 rot.id, reader, s.cluster.view);
+  auto got = s.sim.process_as<ClientBase>(reader).result_of(rot.id);
+
+  // Whatever the interleaving, the reader must not return a fractured
+  // slice of tw.
+  bool saw_x0_new = got[s.x0] == tw.write_set[0].second;
+  bool saw_x1_new = got[s.x1] == tw.write_set[1].second;
+  EXPECT_EQ(saw_x0_new, saw_x1_new) << audit.summary();
+  auto h = s.history();
+  EXPECT_TRUE(cons::check_read_atomicity(h).ok())
+      << cons::check_read_atomicity(h).summary();
+}
+
+TEST(Anomalies, EigerReaderChasesPendingCommit) {
+  // Eiger: the reader catches a write transaction half-committed (p0
+  // committed, p1 still prepared) and needs extra rounds — but never
+  // blocks and never returns a fractured result.
+  Scenario s("eiger");
+  ProcessId writer = s.client(0);
+
+  TxSpec tw = s.ids.write_tx({s.x0, s.x1});
+  // Run the 2PC but stop all deliveries to p1 after the prepare phase:
+  // withhold the Commit so p1 stays pending.  We do this by running until
+  // the coordinator has decided (writer got its reply), with p1 only
+  // receiving the Prepare.
+  s.sim.process_as<ClientBase>(writer).invoke(tw);
+  // Let the request reach the coordinator p0 and the prepare reach p1.
+  sim::run_fair(s.sim, {},
+                [&](const sim::Simulation& sm) {
+                  return sm.process_as<const ClientBase>(writer)
+                      .has_completed(tw.id);
+                },
+                6000);
+  ASSERT_TRUE(s.sim.process_as<ClientBase>(writer).has_completed(tw.id));
+
+  // Re-create the race on a fresh chase: writer writes again, and this
+  // time the reader interleaves mid-commit.
+  TxSpec tw2 = s.ids.write_tx({s.x0, s.x1});
+  ASSERT_FALSE(s.run_tx_without(writer, tw2, s.p1, 4000));
+  // p0 (coordinator) has committed tw2 once its own prepare succeeded…
+  // actually with p1 cut off, the 2PC cannot decide; deliver the prepare
+  // to p1, collect the ack at p0, but withhold the commit from p1.
+  sim::run_fair(s.sim, {s.p1, s.p0, writer}, nullptr, 2000);
+  // By now the coordinator decided; p1 may or may not have the commit.
+  std::size_t begin = s.sim.trace().size();
+  TxSpec rot = s.ids.read_tx({s.x0, s.x1});
+  ProcessId r2 = s.client(2);
+  ASSERT_TRUE(s.run_tx(r2, rot));
+  auto audit = imposs::audit_rot(s.sim.trace(), begin, s.sim.trace().size(),
+                                 rot.id, r2, s.cluster.view);
+  EXPECT_TRUE(audit.nonblocking) << audit.summary();
+  auto got = s.sim.process_as<ClientBase>(r2).result_of(rot.id);
+  bool saw0 = got[s.x0] == tw2.write_set[0].second;
+  bool saw1 = got[s.x1] == tw2.write_set[1].second;
+  EXPECT_EQ(saw0, saw1) << "fractured read: " << audit.summary();
+  EXPECT_TRUE(cons::check_causal_consistency(s.history()).ok())
+      << cons::check_causal_consistency(s.history()).summary();
+}
+
+TEST(Anomalies, WrenClientCacheGivesReadYourWritesWithoutBlocking) {
+  Scenario s("wren");
+  ProcessId c = s.client(0);
+  TxSpec w = s.ids.write_tx({s.x0, s.x1});
+  ASSERT_TRUE(s.run_tx(c, w));
+
+  // Immediately read back, even though the stable snapshot may not cover
+  // the write yet: the own-write cache must serve the new values and no
+  // server may defer.
+  std::size_t begin = s.sim.trace().size();
+  TxSpec rot = s.ids.read_tx({s.x0, s.x1});
+  ASSERT_TRUE(s.run_tx(c, rot));
+  auto audit = imposs::audit_rot(s.sim.trace(), begin, s.sim.trace().size(),
+                                 rot.id, c, s.cluster.view);
+  EXPECT_TRUE(audit.nonblocking) << audit.summary();
+  auto got = s.sim.process_as<ClientBase>(c).result_of(rot.id);
+  EXPECT_EQ(got[s.x0], w.write_set[0].second);
+  EXPECT_EQ(got[s.x1], w.write_set[1].second);
+}
+
+TEST(Anomalies, GentleRainBlocksForReadYourWrites) {
+  Scenario s("gentlerain");
+  ProcessId c = s.client(0);
+
+  // Fair run that withholds stabilization gossip, keeping GST behind the
+  // client's own write timestamp.
+  auto run_without_gossip = [&](const TxSpec& spec, std::size_t budget) {
+    s.sim.process_as<ClientBase>(c).invoke(spec);
+    std::size_t spent = 0, idle = 0;
+    while (spent < budget) {
+      if (s.sim.process_as<ClientBase>(c).has_completed(spec.id)) return true;
+      bool progressed = false;
+      std::vector<MsgId> ids;
+      for (const auto& m : s.sim.network().in_flight()) {
+        bool gossip = false;
+        for (const auto& part : sim::payload_parts(m))
+          gossip |= dynamic_cast<const proto::Gossip*>(part.get()) != nullptr;
+        if (!gossip) ids.push_back(m.id);
+      }
+      for (auto id : ids) {
+        progressed |= s.sim.deliver(id);
+        ++spent;
+      }
+      for (std::size_t i = 0; i < s.sim.process_count(); ++i) {
+        bool had = !s.sim.network().income_of(ProcessId(i)).empty();
+        s.sim.step(ProcessId(i));
+        ++spent;
+        progressed |= had;
+      }
+      if (progressed)
+        idle = 0;
+      else if (++idle > 8)
+        return s.sim.process_as<ClientBase>(c).has_completed(spec.id);
+    }
+    return s.sim.process_as<ClientBase>(c).has_completed(spec.id);
+  };
+
+  TxSpec w = s.ids.write_one(s.x1);
+  ASSERT_TRUE(run_without_gossip(w, 20000));
+
+  std::size_t begin = s.sim.trace().size();
+  TxSpec rot = s.ids.read_tx({s.x0, s.x1});
+  // The read cannot finish while gossip is withheld (the server holds the
+  // reply waiting for GST)...
+  bool done_without_gossip = run_without_gossip(rot, 20000);
+  EXPECT_FALSE(done_without_gossip);
+  // ...and completes once the gossip flows again.
+  sim::run_fair(s.sim, {},
+                [&](const sim::Simulation& sm) {
+                  return sm.process_as<const ClientBase>(c).has_completed(
+                      rot.id);
+                },
+                60000);
+  ASSERT_TRUE(s.sim.process_as<ClientBase>(c).has_completed(rot.id));
+  auto audit = imposs::audit_rot(s.sim.trace(), begin, s.sim.trace().size(),
+                                 rot.id, c, s.cluster.view);
+  auto got = s.sim.process_as<ClientBase>(c).result_of(rot.id);
+  EXPECT_EQ(got[s.x1], w.write_set[0].second);  // read-your-writes held
+  EXPECT_FALSE(audit.nonblocking) << audit.summary();
+}
+
+TEST(Anomalies, SpannerReadsBlockInsideUncertainty) {
+  Scenario s("spanner");
+  ProcessId c = s.client(0);
+  std::size_t begin = s.sim.trace().size();
+  TxSpec rot = s.ids.read_tx({s.x0, s.x1});
+  ASSERT_TRUE(s.run_tx(c, rot));
+  auto audit = imposs::audit_rot(s.sim.trace(), begin, s.sim.trace().size(),
+                                 rot.id, c, s.cluster.view);
+  EXPECT_EQ(audit.rounds, 1u);
+  EXPECT_LE(audit.max_values_per_message, 1u);
+  EXPECT_FALSE(audit.nonblocking)
+      << "s_read = TT.now().latest forces a safe-time wait: "
+      << audit.summary();
+}
+
+TEST(Anomalies, SpannerWorkloadIsStrictlySerializable) {
+  Scenario s("spanner");
+  wl::WorkloadConfig wcfg;
+  wcfg.num_txs = 25;
+  wcfg.seed = 5;
+  wcfg.write_fraction = 0.4;
+  auto result = wl::run_workload_concurrent(s.sim, *s.protocol, s.cluster,
+                                            s.ids, wcfg);
+  EXPECT_EQ(result.incomplete, 0u);
+  auto check = cons::check_strict_serializability(result.history);
+  EXPECT_TRUE(check.ok()) << check.summary();
+}
+
+TEST(Anomalies, NaiveFastFracturesUnderTheChase) {
+  // The chase against naivefast with a multi-object write: the reader
+  // sees the fracture directly.
+  Scenario s("naivefast");
+  ProcessId writer = s.client(0);
+  ProcessId reader = s.client(1);
+
+  TxSpec rot = s.ids.read_tx({s.x0, s.x1});
+  s.sim.process_as<ClientBase>(reader).invoke(rot);
+  s.sim.step(reader);
+  if (s.sim.deliver_between(reader, s.p0) > 0) s.sim.step(s.p0);
+
+  TxSpec tw = s.ids.write_tx({s.x0, s.x1});
+  ASSERT_TRUE(s.run_tx_without(writer, tw, reader));
+
+  sim::run_fair(s.sim, {},
+                [&](const sim::Simulation& sm) {
+                  return sm.process_as<const ClientBase>(reader)
+                      .has_completed(rot.id);
+                },
+                20000);
+  ASSERT_TRUE(s.sim.process_as<ClientBase>(reader).has_completed(rot.id));
+  auto got = s.sim.process_as<ClientBase>(reader).result_of(rot.id);
+  EXPECT_EQ(got[s.x0], s.cluster.initial_values[s.x0]);
+  EXPECT_EQ(got[s.x1], tw.write_set[1].second);
+  EXPECT_FALSE(cons::check_causal_consistency(s.history()).ok());
+  EXPECT_FALSE(cons::check_read_atomicity(s.history()).ok());
+}
+
+}  // namespace
+}  // namespace discs

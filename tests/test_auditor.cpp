@@ -1,0 +1,196 @@
+// Tests of the auditor, the visibility oracle and the constructions across
+// the whole registry — the glue that regenerates Table 1.
+#include <gtest/gtest.h>
+
+#include "impossibility/auditor.h"
+#include "impossibility/constructions.h"
+#include "proto/common/client.h"
+#include "proto/registry.h"
+#include "sim/schedule.h"
+
+namespace discs {
+namespace {
+
+using imposs::AuditConfig;
+using proto::ClientBase;
+using proto::Cluster;
+using proto::ClusterConfig;
+using proto::IdSource;
+using proto::TxSpec;
+
+ClusterConfig small_cluster() {
+  ClusterConfig cfg;
+  cfg.num_servers = 2;
+  cfg.num_clients = 4;
+  cfg.num_objects = 2;
+  return cfg;
+}
+
+TEST(Auditor, Table1RowsMatchThePaper) {
+  struct Expected {
+    const char* name;
+    std::size_t r;
+    std::size_t v;
+    bool n;
+    bool wtx;
+  };
+  // The paper's Table 1 cells for the systems we implement.
+  const Expected expected[] = {
+      {"cops", 2, 2, true, false},      {"gentlerain", 2, 1, false, false},
+      {"cops-snow", 1, 1, true, false}, {"ramp", 2, 2, true, true},
+      {"eiger", 3, 2, true, true},      {"wren", 2, 1, true, true},
+      {"spanner", 1, 1, false, true},
+  };
+  for (const auto& e : expected) {
+    auto protocol = proto::protocol_by_name(e.name);
+    AuditConfig cfg;
+    cfg.workload_txs = 30;
+    cfg.run_induction = false;
+    auto audit = imposs::audit_protocol(*protocol, cfg);
+    EXPECT_LE(audit.max_rounds, e.r) << e.name << ": " << audit.row_str();
+    EXPECT_LE(audit.max_values_per_object, e.v)
+        << e.name << ": " << audit.row_str();
+    EXPECT_EQ(audit.nonblocking, e.n) << e.name << ": " << audit.row_str();
+    EXPECT_EQ(audit.accepts_write_tx, e.wtx)
+        << e.name << ": " << audit.row_str();
+    if (e.name != std::string("ramp")) {
+      EXPECT_EQ(audit.causal_verdict, cons::Verdict::kOk)
+          << e.name << ": " << audit.causal_detail;
+    }
+  }
+}
+
+TEST(Auditor, FatCopsViolatesOneValueOnly) {
+  auto protocol = proto::protocol_by_name("fatcops");
+  AuditConfig cfg;
+  cfg.run_induction = false;
+  auto audit = imposs::audit_protocol(*protocol, cfg);
+  EXPECT_EQ(audit.max_rounds, 1u);
+  EXPECT_TRUE(audit.nonblocking);
+  EXPECT_TRUE(audit.accepts_write_tx);
+  EXPECT_GT(audit.max_values_per_object, 1u);
+  EXPECT_EQ(audit.causal_verdict, cons::Verdict::kOk) << audit.causal_detail;
+}
+
+TEST(Auditor, TheoremPartitionIsExhaustive) {
+  // Every protocol falls into exactly one bucket of the theorem's
+  // partition — no protocol is simultaneously fast, write-transactional,
+  // causal and live.
+  for (const auto& protocol : proto::all_protocols()) {
+    AuditConfig cfg;
+    cfg.workload_txs = 20;
+    auto audit = imposs::audit_protocol(*protocol, cfg);
+    bool fast = audit.max_rounds <= 1 && audit.max_values_per_object <= 1 &&
+                audit.nonblocking;
+    bool w = audit.accepts_write_tx;
+    bool causal_ok = audit.causal_verdict == cons::Verdict::kOk;
+    bool progress =
+        audit.induction.outcome !=
+            imposs::InductionReport::Outcome::kTroublesomeExecution &&
+        audit.induction.outcome !=
+            imposs::InductionReport::Outcome::kNoProgressNoComm;
+    EXPECT_FALSE(fast && w && causal_ok && progress)
+        << protocol->name() << " would refute Theorem 1: "
+        << audit.row_str();
+  }
+}
+
+class GammaAcrossFastProtocols
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GammaAcrossFastProtocols, GammaOldAndNewReturnConsistentSnapshots) {
+  auto protocol = proto::protocol_by_name(GetParam());
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster = protocol->build(sim, small_cluster(), ids);
+
+  auto g_old = imposs::run_gamma_old(sim, *protocol, cluster,
+                                     cluster.view.servers[1], ids);
+  ASSERT_TRUE(g_old.ok && g_old.completed) << g_old.note;
+  for (const auto& [obj, v] : cluster.initial_values)
+    EXPECT_EQ(g_old.returned[obj], v);
+
+  // Single-object write (supported everywhere), then gamma_new.
+  ProcessId cw = cluster.clients[0];
+  TxSpec w = ids.write_one(cluster.view.objects[0]);
+  sim.process_as<ClientBase>(cw).invoke(w);
+  sim::run_fair(sim, {},
+                [&](const sim::Simulation& s) {
+                  return s.process_as<const ClientBase>(cw).has_completed(
+                      w.id);
+                },
+                30000);
+  sim::run_to_quiescence(sim, {}, 10000);
+
+  auto g_new = imposs::run_gamma_new(sim, *protocol, cluster,
+                                     cluster.view.servers[0], ids);
+  ASSERT_TRUE(g_new.ok && g_new.completed) << g_new.note;
+  EXPECT_EQ(g_new.returned[cluster.view.objects[0]], w.write_set[0].second);
+}
+
+TEST_P(GammaAcrossFastProtocols, Observation1Indistinguishability) {
+  // Observation 1(2): only the reader and the first-responding servers
+  // take steps in sigma_old, so every OTHER process's state is unchanged —
+  // machine-checked on state digests.
+  auto protocol = proto::protocol_by_name(GetParam());
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster = protocol->build(sim, small_cluster(), ids);
+  ProcessId cw = cluster.clients[0];
+  ProcessId p = cluster.view.servers[1];
+
+  std::string cw_before = sim.process_digest(cw);
+  std::string p_before = sim.process_digest(p);
+  auto run = imposs::run_gamma_old(sim, *protocol, cluster, p, ids);
+  ASSERT_TRUE(run.ok) << run.note;
+  // cw took no steps in the whole of gamma_old; p took none within
+  // sigma_old.  After the full run p has answered, but cw is untouched.
+  EXPECT_EQ(run.sim.process_digest(cw), cw_before);
+  // Replay only sigma_old onto a fresh copy: p must be unchanged there.
+  sim::Simulation upto_sigma = sim;
+  ProcessId reader2 = protocol->add_client(upto_sigma, cluster.view);
+  (void)reader2;
+  EXPECT_EQ(upto_sigma.process_digest(p), p_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, GammaAcrossFastProtocols,
+                         ::testing::Values("naivefast", "cops-snow", "cops",
+                                           "fatcops"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(Visibility, ProbeDoesNotPerturbTheConfiguration) {
+  auto protocol = proto::protocol_by_name("cops-snow");
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster = protocol->build(sim, small_cluster(), ids);
+  std::string digest_before = sim.digest();
+  auto probe = imposs::probe_visibility(sim, *protocol, cluster,
+                                        cluster.initial_values, ids);
+  EXPECT_TRUE(probe.visible);
+  EXPECT_EQ(sim.digest(), digest_before);
+}
+
+TEST(Visibility, ReportsFastnessOfTheProbeItself) {
+  auto fast = proto::protocol_by_name("cops-snow");
+  sim::Simulation s1;
+  IdSource ids1;
+  Cluster c1 = fast->build(s1, small_cluster(), ids1);
+  auto p1 = imposs::probe_visibility(s1, *fast, c1, c1.initial_values, ids1);
+  EXPECT_TRUE(p1.probe_was_fast) << p1.probe_audit_summary;
+
+  auto slow = proto::protocol_by_name("wren");
+  sim::Simulation s2;
+  IdSource ids2;
+  Cluster c2 = slow->build(s2, small_cluster(), ids2);
+  auto p2 = imposs::probe_visibility(s2, *slow, c2, c2.initial_values, ids2);
+  EXPECT_TRUE(p2.visible);
+  EXPECT_FALSE(p2.probe_was_fast) << p2.probe_audit_summary;
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "clock/clocks.h"
+#include "util/check.h"
+
+namespace discs::clk {
+namespace {
+
+TEST(Lamport, MonotoneAndObserves) {
+  LamportClock c;
+  EXPECT_EQ(c.tick(), 1u);
+  EXPECT_EQ(c.tick(), 2u);
+  EXPECT_EQ(c.observe(10), 11u);
+  EXPECT_EQ(c.observe(3), 12u);  // never goes backwards
+}
+
+TEST(Vector, MergeAndCompare) {
+  VectorClock a(3), b(3);
+  a.advance(0);
+  b.advance(1);
+  EXPECT_TRUE(a.concurrent(b));
+  VectorClock c = a;
+  c.merge(b);
+  EXPECT_TRUE(a.leq(c));
+  EXPECT_TRUE(b.leq(c));
+  EXPECT_TRUE(a.lt(c));
+  EXPECT_FALSE(c.lt(a));
+  EXPECT_EQ(c.at(0), 1u);
+  EXPECT_EQ(c.at(1), 1u);
+  EXPECT_EQ(c.at(2), 0u);
+}
+
+TEST(Hlc, TimestampOrdering) {
+  HlcTimestamp a{1, 0}, b{1, 1}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (HlcTimestamp{1, 0}));
+}
+
+TEST(Hlc, TickAdvancesWithPhysicalTime) {
+  HybridLogicalClock c;
+  auto t1 = c.tick(5);
+  EXPECT_EQ(t1, (HlcTimestamp{5, 0}));
+  auto t2 = c.tick(5);  // same physical instant: logical grows
+  EXPECT_EQ(t2, (HlcTimestamp{5, 1}));
+  auto t3 = c.tick(9);
+  EXPECT_EQ(t3, (HlcTimestamp{9, 0}));
+}
+
+TEST(Hlc, ObserveNeverRegresses) {
+  HybridLogicalClock c;
+  c.tick(5);
+  auto t = c.observe({7, 3}, 6);
+  EXPECT_GT(t, (HlcTimestamp{7, 3}));
+  auto t2 = c.observe({2, 0}, 6);
+  EXPECT_GT(t2, t);  // stale remote timestamps still move us forward
+}
+
+TEST(Hlc, CausalChainThroughMessages) {
+  HybridLogicalClock sender, receiver;
+  auto send_ts = sender.tick(10);
+  auto recv_ts = receiver.observe(send_ts, 4);  // receiver's clock lags
+  EXPECT_GT(recv_ts, send_ts);
+}
+
+TEST(JustBelow, EdgeCases) {
+  EXPECT_EQ(just_below({3, 5}), (HlcTimestamp{3, 4}));
+  auto below = just_below({3, 0});
+  EXPECT_LT(below, (HlcTimestamp{3, 0}));
+  EXPECT_EQ(below.physical, 2u);
+  EXPECT_EQ(just_below({0, 0}), (HlcTimestamp{0, 0}));
+}
+
+TEST(TrueTime, IntervalContainsTrueTick) {
+  for (std::int64_t skew : {-5, -1, 0, 3, 5}) {
+    TrueTimeSim tt(5, skew);
+    for (std::uint64_t tick : {0u, 10u, 1000u}) {
+      auto iv = tt.now(tick);
+      EXPECT_LE(iv.earliest, tick) << "skew " << skew << " tick " << tick;
+      EXPECT_GE(iv.latest, tick) << "skew " << skew << " tick " << tick;
+    }
+  }
+}
+
+TEST(TrueTime, SkewMustRespectEpsilon) {
+  EXPECT_THROW(TrueTimeSim(2, 5), discs::CheckFailure);
+  EXPECT_NO_THROW(TrueTimeSim(5, 5));
+}
+
+TEST(TrueTime, ZeroEpsilonIsExact) {
+  TrueTimeSim tt(0, 0);
+  auto iv = tt.now(42);
+  EXPECT_EQ(iv.earliest, 42u);
+  EXPECT_EQ(iv.latest, 42u);
+}
+
+}  // namespace
+}  // namespace discs::clk

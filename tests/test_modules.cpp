@@ -1,0 +1,121 @@
+// Tests for the supporting modules: metrics, parallel runner, payloads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "metrics/metrics.h"
+#include "par/parallel.h"
+#include "proto/common/payloads.h"
+#include "util/check.h"
+
+namespace discs {
+namespace {
+
+TEST(Metrics, SummaryStatistics) {
+  metrics::Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 100);
+  EXPECT_NEAR(s.p50(), 50.5, 0.01);
+  EXPECT_NEAR(s.p95(), 95.05, 0.1);
+  EXPECT_NEAR(s.percentile(0.0), 1, 1e-9);
+  EXPECT_NEAR(s.percentile(1.0), 100, 1e-9);
+}
+
+TEST(Metrics, EmptySummaryIsSafe) {
+  metrics::Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+  EXPECT_DOUBLE_EQ(s.p50(), 0);
+  EXPECT_FALSE(s.str().empty());
+}
+
+TEST(Metrics, InterleavedAddAndQuery) {
+  metrics::Summary s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.max(), 10);
+  s.add(20);  // must re-sort after new samples
+  EXPECT_DOUBLE_EQ(s.max(), 20);
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.min(), 5);
+}
+
+TEST(Parallel, RunsEveryJobExactlyOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  par::parallel_for(64, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, PropagatesException) {
+  EXPECT_THROW(par::parallel_for(8,
+                                 [&](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Parallel, ZeroAndSingle) {
+  par::parallel_for(0, [](std::size_t) { FAIL(); });
+  int n = 0;
+  par::parallel_for(1, [&](std::size_t) { ++n; }, 1);
+  EXPECT_EQ(n, 1);
+}
+
+TEST(Payloads, ValuesCarriedConventions) {
+  proto::RotReply reply;
+  reply.items.push_back({ObjectId(0), ValueId(1), {1, 0}, {}, {}});
+  reply.items.push_back({ObjectId(1), ValueId(2), {1, 0}, {}, {}});
+  reply.extras.push_back({ObjectId(2), ValueId(3), {1, 0}, {}, {}});
+  proto::PendingInfo p;
+  p.object = ObjectId(0);
+  p.value = ValueId(4);
+  reply.pendings.push_back(p);
+  auto vals = reply.values_carried();
+  EXPECT_EQ(vals.size(), 4u);
+
+  // Dependency/sibling REFERENCES are metadata (footnote 3), not values.
+  proto::RotReply ref_only;
+  proto::ReadItem item{ObjectId(0), ValueId(1), {1, 0}, {}, {}};
+  item.deps.push_back({ObjectId(1), ValueId(9), {0, 1}});
+  item.siblings.push_back({ObjectId(2), ValueId(8)});
+  ref_only.items.push_back(item);
+  EXPECT_EQ(ref_only.values_carried().size(), 1u);
+}
+
+TEST(Payloads, SnapshotReplyCarriesNoValues) {
+  proto::SnapshotReply r;
+  r.snapshot = {5, 0};
+  EXPECT_TRUE(r.values_carried().empty());
+}
+
+TEST(Payloads, ByteSizesGrowWithContent) {
+  proto::WriteRequest small;
+  small.writes = {{ObjectId(0), ValueId(1)}};
+  proto::WriteRequest fat = small;
+  for (int i = 0; i < 10; ++i) {
+    fat.dep_values.push_back({ObjectId(i), ValueId(100 + i), {1, 0}, {}, {}});
+    fat.deps.push_back({ObjectId(i), ValueId(100 + i), {1, 0}});
+  }
+  EXPECT_GT(fat.byte_size(), small.byte_size() + 10 * 24);
+  EXPECT_EQ(fat.values_carried().size(), 1u + 10u);
+}
+
+TEST(Payloads, DescribeIsInformative) {
+  proto::RotRequest req;
+  req.tx = TxId(7);
+  req.objects = {ObjectId(0), ObjectId(1)};
+  auto d = req.describe();
+  EXPECT_NE(d.find("T7"), std::string::npos);
+  EXPECT_NE(d.find("X0"), std::string::npos);
+
+  proto::Commit c;
+  c.tx = TxId(9);
+  c.commit_ts = {4, 2};
+  EXPECT_NE(c.describe().find("4.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace discs

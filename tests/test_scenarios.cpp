@@ -1,0 +1,109 @@
+// Tests of the reusable adversarial scenarios, across the registry: each
+// scenario must expose exactly the protocols it is designed to expose and
+// leave the genuinely fast ones untouched.
+#include <gtest/gtest.h>
+
+#include "impossibility/scenarios.h"
+#include "proto/registry.h"
+
+namespace discs {
+namespace {
+
+using proto::ClusterConfig;
+
+ClusterConfig paper_cluster() {
+  ClusterConfig cfg;
+  cfg.num_servers = 2;
+  cfg.num_clients = 5;
+  cfg.num_objects = 2;
+  return cfg;
+}
+
+struct ChaseExpectation {
+  std::string protocol;
+  std::size_t min_rounds;
+  std::size_t max_rounds;
+};
+
+class DependencyChase : public ::testing::TestWithParam<ChaseExpectation> {};
+
+TEST_P(DependencyChase, RoundsMatchDesign) {
+  const auto& e = GetParam();
+  auto protocol = proto::protocol_by_name(e.protocol);
+  auto audit = imposs::run_dependency_chase(*protocol, paper_cluster());
+  ASSERT_TRUE(audit.completed) << e.protocol;
+  EXPECT_GE(audit.rounds, e.min_rounds) << audit.summary();
+  EXPECT_LE(audit.rounds, e.max_rounds) << audit.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, DependencyChase,
+    ::testing::Values(ChaseExpectation{"cops", 2, 2},
+                      ChaseExpectation{"cops-snow", 1, 1},
+                      ChaseExpectation{"eiger", 2, 3},
+                      ChaseExpectation{"wren", 2, 2},
+                      ChaseExpectation{"fatcops", 1, 1},
+                      // RAMP's single writes carry no metadata: the chase
+                      // does not trigger its repair round (its causal
+                      // blind spot — see test_anomalies).
+                      ChaseExpectation{"ramp", 1, 1}),
+    [](const auto& info) {
+      std::string n = info.param.protocol;
+      for (auto& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(FractureChase, RampRepairRoundTriggered) {
+  auto protocol = proto::protocol_by_name("ramp");
+  auto audit = imposs::run_fracture_chase(*protocol, paper_cluster());
+  ASSERT_TRUE(audit.completed);
+  EXPECT_GE(audit.rounds, 2u) << audit.summary();
+  EXPECT_FALSE(audit.fast()) << audit.summary();
+}
+
+TEST(FractureChase, EigerNotFastButNonblocking) {
+  auto protocol = proto::protocol_by_name("eiger");
+  auto audit = imposs::run_fracture_chase(*protocol, paper_cluster());
+  ASSERT_TRUE(audit.completed);
+  EXPECT_FALSE(audit.fast()) << audit.summary();
+  EXPECT_TRUE(audit.nonblocking) << audit.summary();
+}
+
+TEST(FractureChase, FatCopsPaysValuesNotRounds) {
+  auto protocol = proto::protocol_by_name("fatcops");
+  auto audit = imposs::run_fracture_chase(*protocol, paper_cluster());
+  ASSERT_TRUE(audit.completed);
+  EXPECT_EQ(audit.rounds, 1u) << audit.summary();
+  EXPECT_FALSE(audit.one_value) << audit.summary();
+}
+
+TEST(FractureChase, RejectedForSingleWriteProtocols) {
+  auto protocol = proto::protocol_by_name("cops-snow");
+  auto audit = imposs::run_fracture_chase(*protocol, paper_cluster());
+  EXPECT_FALSE(audit.completed);
+}
+
+TEST(StabilizationLag, GentleRainBlocksWrenDoesNot) {
+  auto gentlerain = proto::protocol_by_name("gentlerain");
+  auto g = imposs::run_stabilization_lag(*gentlerain, paper_cluster());
+  ASSERT_TRUE(g.completed);
+  EXPECT_FALSE(g.nonblocking) << g.summary();
+
+  auto wren = proto::protocol_by_name("wren");
+  auto w = imposs::run_stabilization_lag(*wren, paper_cluster());
+  ASSERT_TRUE(w.completed);
+  EXPECT_TRUE(w.nonblocking) << w.summary();
+}
+
+TEST(StabilizationLag, OneRoundProtocolsUnaffected) {
+  for (const std::string name : {"cops-snow", "naivefast"}) {
+    auto protocol = proto::protocol_by_name(name);
+    auto audit = imposs::run_stabilization_lag(*protocol, paper_cluster());
+    ASSERT_TRUE(audit.completed) << name;
+    EXPECT_TRUE(audit.fast()) << name << ": " << audit.summary();
+  }
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,347 @@
+// Simulation substrate tests: the paper's model semantics (Section 2) —
+// step/delivery events, buffers, snapshots, replay and splicing.
+#include <gtest/gtest.h>
+
+#include "sim/replay.h"
+#include "sim/schedule.h"
+#include "sim/simulation.h"
+#include "util/check.h"
+
+namespace discs::sim {
+namespace {
+
+/// A trivial payload carrying an integer.
+struct Ping : Payload {
+  explicit Ping(int v) : value(v) {}
+  int value;
+  std::string describe() const override {
+    return "Ping(" + std::to_string(value) + ")";
+  }
+};
+
+/// Echo process: counts pings; replies Ping(v+1) to each sender.
+class Echo : public Process {
+ public:
+  explicit Echo(ProcessId id) : Process(id) {}
+  std::unique_ptr<Process> clone() const override {
+    return std::make_unique<Echo>(*this);
+  }
+  void on_step(StepContext& ctx, const std::vector<Message>& inbox) override {
+    for (const auto& m : inbox) {
+      if (const auto* p = m.as<Ping>()) {
+        ++received_;
+        last_ = p->value;
+        if (reply_) ctx.send_make<Ping>(m.src, p->value + 1);
+      }
+    }
+    if (send_on_next_step_.valid()) {
+      ctx.send_make<Ping>(send_on_next_step_, 100);
+      send_on_next_step_ = ProcessId::invalid();
+    }
+  }
+  std::string state_digest() const override {
+    return DigestBuilder()
+        .field("recv", received_)
+        .field("last", last_)
+        .str();
+  }
+
+  int received_ = 0;
+  int last_ = -1;
+  bool reply_ = false;
+  ProcessId send_on_next_step_ = ProcessId::invalid();
+};
+
+struct SimFixture : ::testing::Test {
+  Simulation sim;
+  ProcessId a, b, c;
+  void SetUp() override {
+    a = sim.add_process(std::make_unique<Echo>(sim.next_process_id()));
+    b = sim.add_process(std::make_unique<Echo>(sim.next_process_id()));
+    c = sim.add_process(std::make_unique<Echo>(sim.next_process_id()));
+  }
+  Echo& echo(ProcessId p) { return sim.process_as<Echo>(p); }
+};
+
+TEST_F(SimFixture, MessageFlowThroughBuffers) {
+  echo(a).send_on_next_step_ = b;
+  sim.step(a);
+  EXPECT_EQ(sim.network().in_flight_count(), 1u);
+  EXPECT_EQ(echo(b).received_, 0);
+
+  // Delivery puts the message in b's income buffer; only b's next step
+  // consumes it (the model's two-phase communication).
+  MsgId m = sim.network().in_flight().front().id;
+  EXPECT_TRUE(sim.deliver(m));
+  EXPECT_EQ(sim.network().in_flight_count(), 0u);
+  EXPECT_EQ(echo(b).received_, 0);
+  sim.step(b);
+  EXPECT_EQ(echo(b).received_, 1);
+  EXPECT_EQ(echo(b).last_, 100);
+}
+
+TEST_F(SimFixture, DeliverUnknownMessageFails) {
+  EXPECT_FALSE(sim.deliver(MsgId(123456)));
+}
+
+TEST_F(SimFixture, MessageIdsEncodeSenderAndSequence) {
+  echo(a).send_on_next_step_ = b;
+  sim.step(a);
+  echo(a).send_on_next_step_ = c;
+  sim.step(a);
+  auto msgs = sim.network().in_flight();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msg_sender(msgs[0].id), a);
+  EXPECT_EQ(msg_seq(msgs[0].id), 0u);
+  EXPECT_EQ(msg_seq(msgs[1].id), 1u);
+}
+
+TEST_F(SimFixture, SnapshotBranchesIndependently) {
+  echo(a).send_on_next_step_ = b;
+  sim.step(a);
+
+  Simulation branch = sim;  // snapshot
+  // Progress only the branch.
+  branch.deliver_between(a, b);
+  branch.step(b);
+  EXPECT_EQ(branch.process_as<Echo>(b).received_, 1);
+  EXPECT_EQ(echo(b).received_, 0);  // original untouched
+  EXPECT_EQ(sim.network().in_flight_count(), 1u);
+}
+
+TEST_F(SimFixture, DigestDetectsStateDifference) {
+  Simulation branch = sim;
+  EXPECT_EQ(sim.digest(), branch.digest());
+  branch.process_as<Echo>(a).received_ = 99;
+  EXPECT_NE(sim.digest(), branch.digest());
+}
+
+TEST_F(SimFixture, ReplayReproducesExecution) {
+  // Record an execution, then replay its event sequence from the same
+  // starting snapshot: final configurations must be indistinguishable.
+  Simulation start = sim;
+  echo(a).send_on_next_step_ = b;
+  echo(b).reply_ = true;
+  sim.step(a);
+  sim.deliver_between(a, b);
+  sim.step(b);
+  sim.deliver_between(b, a);
+  sim.step(a);
+
+  auto events = sim.trace().events_from(start.trace().size());
+  Simulation replayed = start;
+  replayed.process_as<Echo>(a).send_on_next_step_ = b;
+  replayed.process_as<Echo>(b).reply_ = true;
+  auto result = replay(replayed, events);
+  ASSERT_TRUE(result.clean()) << result.error;
+  EXPECT_EQ(replayed.digest(), sim.digest());
+}
+
+TEST_F(SimFixture, SplicedReplayPreservesMessageIds) {
+  // Like the proof's beta_p: drop one process's steps; the others' sends
+  // keep their ids, so recorded deliveries still apply.
+  Simulation start = sim;
+  echo(a).send_on_next_step_ = b;
+  echo(c).send_on_next_step_ = b;
+  std::size_t t0 = sim.trace().size();
+  sim.step(c);  // c sends first in the original
+  sim.step(a);
+  sim.deliver_all();
+  sim.step(b);
+  EXPECT_EQ(echo(b).received_, 2);
+
+  // Filter out all events involving c (its step, and deliveries of its
+  // messages).
+  std::span<const EventRecord> records(sim.trace().records());
+  auto keep = [&](const EventRecord& r) {
+    if (r.event.kind == Event::Kind::kStep) return r.event.process != c;
+    return msg_sender(r.event.msg) != c;
+  };
+  auto filtered =
+      filter_events(records.subspan(t0), [&](const EventRecord& r) {
+        return keep(r);
+      });
+
+  Simulation replayed = start;
+  replayed.process_as<Echo>(a).send_on_next_step_ = b;
+  replayed.process_as<Echo>(c).send_on_next_step_ = b;
+  auto result = replay(replayed, filtered);
+  ASSERT_TRUE(result.clean()) << result.error;
+  EXPECT_EQ(replayed.process_as<Echo>(b).received_, 1);  // only a's ping
+}
+
+TEST_F(SimFixture, ReplayMissingDeliveryBehaviour) {
+  std::vector<Event> events{Event::deliver(MsgId(42))};
+  Simulation s1 = sim;
+  auto strict = replay(s1, events);
+  EXPECT_FALSE(strict.ok);
+
+  Simulation s2 = sim;
+  ReplayOptions opts;
+  opts.skip_missing_deliveries = true;
+  auto lax = replay(s2, events);
+  lax = replay(s2, events, opts);
+  EXPECT_TRUE(lax.ok);
+  EXPECT_EQ(lax.skipped.size(), 1u);
+}
+
+TEST_F(SimFixture, MultipleSendsToOneNeighborAreBatched) {
+  // The model allows one MESSAGE per neighbor per step; several payloads
+  // to the same destination travel as a single batch message.
+  struct Chatty : Process {
+    using Process::Process;
+    ProcessId dst;
+    std::unique_ptr<Process> clone() const override {
+      return std::make_unique<Chatty>(*this);
+    }
+    void on_step(StepContext& ctx, const std::vector<Message>&) override {
+      ctx.send_make<Ping>(dst, 1);
+      ctx.send_make<Ping>(dst, 2);
+    }
+    std::string state_digest() const override { return ""; }
+  };
+  Simulation s;
+  auto id0 = s.next_process_id();
+  auto chatty = std::make_unique<Chatty>(id0);
+  s.add_process(std::move(chatty));
+  auto id1 = s.add_process(std::make_unique<Echo>(s.next_process_id()));
+  s.process_as<Chatty>(id0).dst = id1;
+  s.step(id0);
+  ASSERT_EQ(s.network().in_flight_count(), 1u);  // ONE message
+  const Message& m = s.network().in_flight().front();
+  auto parts = payload_parts(m);
+  ASSERT_EQ(parts.size(), 2u);  // carrying both payloads
+  EXPECT_NE(dynamic_cast<const Ping*>(parts[0].get()), nullptr);
+}
+
+TEST_F(SimFixture, RunFairTerminatesOnQuiescence) {
+  echo(a).send_on_next_step_ = b;
+  echo(b).reply_ = true;
+  auto stats = run_to_quiescence(sim, {}, 1000);
+  EXPECT_LT(stats.events(), 1000u);
+  EXPECT_TRUE(sim.network_idle());
+  EXPECT_EQ(echo(b).received_, 1);
+  EXPECT_EQ(echo(a).last_, 101);  // got the reply
+}
+
+TEST_F(SimFixture, NetworkQueries) {
+  echo(a).send_on_next_step_ = b;
+  sim.step(a);
+  echo(a).send_on_next_step_ = c;
+  sim.step(a);
+
+  EXPECT_EQ(sim.network().in_flight_count(), 2u);
+  EXPECT_EQ(sim.network().in_flight_between(a, b).size(), 1u);
+  EXPECT_EQ(sim.network().in_flight_between(a, c).size(), 1u);
+  EXPECT_TRUE(sim.network().in_flight_between(b, c).empty());
+  EXPECT_FALSE(sim.network().idle());
+
+  MsgId first = sim.network().in_flight().front().id;
+  EXPECT_TRUE(sim.network().find_in_flight(first).has_value());
+  sim.deliver(first);
+  EXPECT_FALSE(sim.network().find_in_flight(first).has_value());
+  EXPECT_EQ(sim.network().income_of(b).size(), 1u);
+  EXPECT_EQ(sim.network().income_count(), 1u);
+  EXPECT_FALSE(sim.network().idle());  // undelivered + unconsumed remain
+
+  sim.deliver_between(a, c);
+  sim.step(b);
+  sim.step(c);
+  EXPECT_TRUE(sim.network().idle());
+}
+
+TEST_F(SimFixture, DeliverBetweenPreservesSendOrder) {
+  echo(a).send_on_next_step_ = b;
+  sim.step(a);
+  echo(a).send_on_next_step_ = b;
+  sim.step(a);
+  EXPECT_EQ(sim.deliver_between(a, b), 2u);
+  auto income = sim.network().income_of(b);
+  ASSERT_EQ(income.size(), 2u);
+  EXPECT_LT(msg_seq(income[0].id), msg_seq(income[1].id));
+}
+
+TEST_F(SimFixture, TraceRecordsConsumedAndSent) {
+  echo(b).reply_ = true;
+  echo(a).send_on_next_step_ = b;
+  sim.step(a);
+  sim.deliver_between(a, b);
+  sim.step(b);
+
+  const auto& records = sim.trace().records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].event.kind, Event::Kind::kStep);
+  EXPECT_EQ(records[0].sent.size(), 1u);
+  EXPECT_EQ(records[1].event.kind, Event::Kind::kDeliver);
+  EXPECT_EQ(records[1].delivered.dst, b);
+  EXPECT_EQ(records[2].consumed.size(), 1u);
+  EXPECT_EQ(records[2].sent.size(), 1u);  // the echo reply
+
+  // Rendering mentions the events in order.
+  auto text = sim.trace().render();
+  EXPECT_NE(text.find("step(p0)"), std::string::npos);
+  EXPECT_NE(text.find("deliver("), std::string::npos);
+  EXPECT_NE(text.find("Ping"), std::string::npos);
+
+  // messages_sent over a window.
+  EXPECT_EQ(sim.trace().messages_sent(0, 3).size(), 2u);
+  EXPECT_EQ(sim.trace().messages_sent(1, 2).size(), 0u);
+}
+
+TEST_F(SimFixture, VirtualTimeCountsEvents) {
+  EXPECT_EQ(sim.now(), 0u);
+  sim.step(a);
+  sim.step(b);
+  EXPECT_EQ(sim.now(), 2u);
+  echo(a).send_on_next_step_ = b;
+  sim.step(a);
+  MsgId m = sim.network().in_flight().front().id;
+  sim.deliver(m);
+  EXPECT_EQ(sim.now(), 4u);
+}
+
+TEST_F(SimFixture, AddProcessEnforcesSequentialIds) {
+  Simulation s;
+  EXPECT_THROW(s.add_process(std::make_unique<Echo>(ProcessId(5))),
+               CheckFailure);
+}
+
+TEST_F(SimFixture, ProcessAsTypeChecked) {
+  struct Other : Process {
+    using Process::Process;
+    std::unique_ptr<Process> clone() const override {
+      return std::make_unique<Other>(*this);
+    }
+    void on_step(StepContext&, const std::vector<Message>&) override {}
+    std::string state_digest() const override { return ""; }
+  };
+  EXPECT_NO_THROW(sim.process_as<Echo>(a));
+  EXPECT_THROW(sim.process_as<Other>(a), CheckFailure);
+}
+
+TEST_F(SimFixture, EventDescribeAndEquality) {
+  Event s1 = Event::step(a);
+  Event s2 = Event::step(a);
+  Event d = Event::deliver(MsgId(7));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, d);
+  EXPECT_NE(s1.describe().find("step"), std::string::npos);
+  EXPECT_NE(d.describe().find("deliver"), std::string::npos);
+}
+
+TEST_F(SimFixture, RunRandomIsDeterministicPerSeed) {
+  auto build = [&](Simulation& s) {
+    s.process_as<Echo>(a).send_on_next_step_ = b;
+    s.process_as<Echo>(b).reply_ = true;
+  };
+  Simulation s1 = sim, s2 = sim;
+  build(s1);
+  build(s2);
+  Rng r1(99), r2(99);
+  run_random(s1, {}, r1, nullptr, 200);
+  run_random(s2, {}, r2, nullptr, 200);
+  EXPECT_EQ(s1.digest(), s2.digest());
+}
+
+}  // namespace
+}  // namespace discs::sim

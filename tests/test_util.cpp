@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.h"
+#include "util/fmt.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace discs {
+namespace {
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ProcessId, ObjectId>);
+  ProcessId p(3);
+  EXPECT_EQ(p.value(), 3u);
+  EXPECT_TRUE(p.valid());
+  EXPECT_FALSE(ProcessId::invalid().valid());
+  EXPECT_EQ(to_string(p), "p3");
+  EXPECT_EQ(to_string(ProcessId::invalid()), "-");
+}
+
+TEST(Ids, OrderingAndHash) {
+  EXPECT_LT(TxId(1), TxId(2));
+  std::set<TxId> s{TxId(1), TxId(2), TxId(1)};
+  EXPECT_EQ(s.size(), 2u);
+  std::hash<TxId> h;
+  EXPECT_EQ(h(TxId(5)), h(TxId(5)));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng a(1);
+  Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Zipf, SkewsTowardsLowIndices) {
+  Rng rng(3);
+  Zipf z(100, 0.99);
+  std::size_t low = 0, total = 20000;
+  for (std::size_t i = 0; i < total; ++i)
+    if (z.sample(rng) < 10) ++low;
+  // With theta=0.99 the top-10 of 100 keys draw well over a third of mass.
+  EXPECT_GT(low, total / 3);
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  Rng rng(4);
+  Zipf z(10, 0.0);
+  std::vector<std::size_t> counts(10, 0);
+  for (std::size_t i = 0; i < 20000; ++i) ++counts[z.sample(rng)];
+  for (auto c : counts) EXPECT_GT(c, 20000u / 20);
+}
+
+TEST(Check, ThrowsCheckFailure) {
+  EXPECT_THROW(DISCS_CHECK(false), CheckFailure);
+  EXPECT_NO_THROW(DISCS_CHECK(true));
+  try {
+    DISCS_CHECK_MSG(1 == 2, "math broke: " << 42);
+    FAIL();
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke: 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Fmt, CatAndJoin) {
+  EXPECT_EQ(cat("a", 1, "b"), "a1b");
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(join(v, ","), "1,2,3");
+  EXPECT_EQ(join(v, "-", [](int x) { return x * 2; }), "2-4-6");
+}
+
+TEST(Fmt, AsciiTable) {
+  auto t = ascii_table({{"h1", "h2"}, {"a", "bbb"}});
+  EXPECT_NE(t.find("| h1 | h2  |"), std::string::npos);
+  EXPECT_NE(t.find("| a  | bbb |"), std::string::npos);
+}
+
+TEST(Fmt, PadAndFixed) {
+  EXPECT_EQ(pad("ab", 4), "ab  ");
+  EXPECT_EQ(pad("abcd", 2), "abcd");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace discs

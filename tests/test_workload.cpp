@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "proto/registry.h"
+#include "workload/workload.h"
+
+namespace discs::wl {
+namespace {
+
+using proto::Cluster;
+using proto::ClusterConfig;
+using proto::IdSource;
+
+struct Fixture : ::testing::Test {
+  std::unique_ptr<proto::Protocol> protocol =
+      proto::protocol_by_name("naivefast");
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster;
+  void SetUp() override {
+    ClusterConfig cfg;
+    cfg.num_servers = 2;
+    cfg.num_clients = 4;
+    cfg.num_objects = 6;
+    cluster = protocol->build(sim, cfg, ids);
+  }
+};
+
+TEST_F(Fixture, NextTxRespectsMix) {
+  WorkloadConfig cfg;
+  cfg.write_fraction = 0.0;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    auto t = next_tx(ids, cluster, cfg, true, rng, nullptr);
+    EXPECT_TRUE(t.read_only());
+    EXPECT_LE(t.read_set.size(), cfg.read_objects);
+    EXPECT_FALSE(t.read_set.empty());
+  }
+  cfg.write_fraction = 1.0;
+  cfg.multi_write_fraction = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    auto t = next_tx(ids, cluster, cfg, true, rng, nullptr);
+    EXPECT_TRUE(t.write_only());
+    EXPECT_EQ(t.write_set.size(), cfg.write_objects);
+  }
+}
+
+TEST_F(Fixture, NextTxHonorsSingleWriteRestriction) {
+  WorkloadConfig cfg;
+  cfg.write_fraction = 1.0;
+  cfg.multi_write_fraction = 1.0;
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    auto t = next_tx(ids, cluster, cfg, /*allow_multi_write=*/false, rng,
+                     nullptr);
+    EXPECT_EQ(t.write_set.size(), 1u);
+  }
+}
+
+TEST_F(Fixture, NextTxObjectsAreDistinctAndSorted) {
+  WorkloadConfig cfg;
+  cfg.read_objects = 4;
+  cfg.write_fraction = 0.0;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    auto t = next_tx(ids, cluster, cfg, true, rng, nullptr);
+    for (std::size_t j = 1; j < t.read_set.size(); ++j)
+      EXPECT_LT(t.read_set[j - 1], t.read_set[j]);
+  }
+}
+
+TEST_F(Fixture, SequentialWorkloadCompletesAndRecordsWindows) {
+  WorkloadConfig cfg;
+  cfg.num_txs = 25;
+  cfg.seed = 4;
+  auto result = run_workload_sequential(sim, *protocol, cluster, ids, cfg);
+  EXPECT_EQ(result.windows.size(), 25u);
+  EXPECT_EQ(result.incomplete, 0u);
+  for (const auto& w : result.windows) {
+    EXPECT_TRUE(w.completed);
+    EXPECT_LT(w.trace_begin, w.trace_end);
+  }
+  EXPECT_EQ(result.history.size(), 25u);
+}
+
+TEST_F(Fixture, ConcurrentWorkloadCompletes) {
+  WorkloadConfig cfg;
+  cfg.num_txs = 25;
+  cfg.seed = 5;
+  auto result = run_workload_concurrent(sim, *protocol, cluster, ids, cfg);
+  EXPECT_EQ(result.windows.size(), 25u);
+  EXPECT_EQ(result.incomplete, 0u);
+}
+
+TEST_F(Fixture, WorkloadIsDeterministicPerSeed) {
+  WorkloadConfig cfg;
+  cfg.num_txs = 15;
+  cfg.seed = 6;
+
+  auto run_once = [&] {
+    std::unique_ptr<proto::Protocol> p = proto::protocol_by_name("naivefast");
+    sim::Simulation s;
+    IdSource local_ids;
+    ClusterConfig ccfg;
+    ccfg.num_servers = 2;
+    ccfg.num_clients = 4;
+    ccfg.num_objects = 6;
+    Cluster c = p->build(s, ccfg, local_ids);
+    run_workload_concurrent(s, *p, c, local_ids, cfg);
+    return s.digest();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(Fixture, ZipfWorkloadSkewsObjects) {
+  WorkloadConfig cfg;
+  cfg.zipf_theta = 0.99;
+  cfg.write_fraction = 1.0;
+  cfg.multi_write_fraction = 0.0;
+  Rng rng(7);
+  Zipf zipf(cluster.view.objects.size(), cfg.zipf_theta);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 400; ++i) {
+    auto t = next_tx(ids, cluster, cfg, true, rng, &zipf);
+    ++counts[t.write_set[0].first.value()];
+  }
+  // The hottest object should dominate the coldest.
+  int hottest = 0, coldest = 1 << 30;
+  for (const auto& [obj, n] : counts) {
+    hottest = std::max(hottest, n);
+    coldest = std::min(coldest, n);
+  }
+  EXPECT_GT(hottest, 3 * std::max(coldest, 1));
+}
+
+}  // namespace
+}  // namespace discs::wl
