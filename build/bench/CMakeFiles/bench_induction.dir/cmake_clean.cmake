@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_induction.dir/bench_induction.cpp.o"
+  "CMakeFiles/bench_induction.dir/bench_induction.cpp.o.d"
+  "bench_induction"
+  "bench_induction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_induction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_latency.cpp" "bench/CMakeFiles/bench_latency.dir/bench_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_latency.dir/bench_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/discs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/discs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/discs_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/discs_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/discs_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/discs_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/discs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/impossibility/CMakeFiles/discs_impossibility.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/discs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/discs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/discs_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_replication.dir/bench_partial_replication.cpp.o"
+  "CMakeFiles/bench_partial_replication.dir/bench_partial_replication.cpp.o.d"
+  "bench_partial_replication"
+  "bench_partial_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_clock.dir/clocks.cpp.o"
+  "CMakeFiles/discs_clock.dir/clocks.cpp.o.d"
+  "libdiscs_clock.a"
+  "libdiscs_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

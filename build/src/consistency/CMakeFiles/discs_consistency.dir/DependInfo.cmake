@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consistency/atomicity.cpp" "src/consistency/CMakeFiles/discs_consistency.dir/atomicity.cpp.o" "gcc" "src/consistency/CMakeFiles/discs_consistency.dir/atomicity.cpp.o.d"
+  "/root/repo/src/consistency/causal.cpp" "src/consistency/CMakeFiles/discs_consistency.dir/causal.cpp.o" "gcc" "src/consistency/CMakeFiles/discs_consistency.dir/causal.cpp.o.d"
+  "/root/repo/src/consistency/checkers.cpp" "src/consistency/CMakeFiles/discs_consistency.dir/checkers.cpp.o" "gcc" "src/consistency/CMakeFiles/discs_consistency.dir/checkers.cpp.o.d"
+  "/root/repo/src/consistency/relation.cpp" "src/consistency/CMakeFiles/discs_consistency.dir/relation.cpp.o" "gcc" "src/consistency/CMakeFiles/discs_consistency.dir/relation.cpp.o.d"
+  "/root/repo/src/consistency/serializability.cpp" "src/consistency/CMakeFiles/discs_consistency.dir/serializability.cpp.o" "gcc" "src/consistency/CMakeFiles/discs_consistency.dir/serializability.cpp.o.d"
+  "/root/repo/src/consistency/sessions.cpp" "src/consistency/CMakeFiles/discs_consistency.dir/sessions.cpp.o" "gcc" "src/consistency/CMakeFiles/discs_consistency.dir/sessions.cpp.o.d"
+  "/root/repo/src/consistency/snapshot.cpp" "src/consistency/CMakeFiles/discs_consistency.dir/snapshot.cpp.o" "gcc" "src/consistency/CMakeFiles/discs_consistency.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/discs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/discs_history.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_consistency.dir/atomicity.cpp.o"
+  "CMakeFiles/discs_consistency.dir/atomicity.cpp.o.d"
+  "CMakeFiles/discs_consistency.dir/causal.cpp.o"
+  "CMakeFiles/discs_consistency.dir/causal.cpp.o.d"
+  "CMakeFiles/discs_consistency.dir/checkers.cpp.o"
+  "CMakeFiles/discs_consistency.dir/checkers.cpp.o.d"
+  "CMakeFiles/discs_consistency.dir/relation.cpp.o"
+  "CMakeFiles/discs_consistency.dir/relation.cpp.o.d"
+  "CMakeFiles/discs_consistency.dir/serializability.cpp.o"
+  "CMakeFiles/discs_consistency.dir/serializability.cpp.o.d"
+  "CMakeFiles/discs_consistency.dir/sessions.cpp.o"
+  "CMakeFiles/discs_consistency.dir/sessions.cpp.o.d"
+  "CMakeFiles/discs_consistency.dir/snapshot.cpp.o"
+  "CMakeFiles/discs_consistency.dir/snapshot.cpp.o.d"
+  "libdiscs_consistency.a"
+  "libdiscs_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_history.dir/history.cpp.o"
+  "CMakeFiles/discs_history.dir/history.cpp.o.d"
+  "libdiscs_history.a"
+  "libdiscs_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

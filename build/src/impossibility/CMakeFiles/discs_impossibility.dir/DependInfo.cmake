@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impossibility/auditor.cpp" "src/impossibility/CMakeFiles/discs_impossibility.dir/auditor.cpp.o" "gcc" "src/impossibility/CMakeFiles/discs_impossibility.dir/auditor.cpp.o.d"
+  "/root/repo/src/impossibility/constructions.cpp" "src/impossibility/CMakeFiles/discs_impossibility.dir/constructions.cpp.o" "gcc" "src/impossibility/CMakeFiles/discs_impossibility.dir/constructions.cpp.o.d"
+  "/root/repo/src/impossibility/induction.cpp" "src/impossibility/CMakeFiles/discs_impossibility.dir/induction.cpp.o" "gcc" "src/impossibility/CMakeFiles/discs_impossibility.dir/induction.cpp.o.d"
+  "/root/repo/src/impossibility/properties.cpp" "src/impossibility/CMakeFiles/discs_impossibility.dir/properties.cpp.o" "gcc" "src/impossibility/CMakeFiles/discs_impossibility.dir/properties.cpp.o.d"
+  "/root/repo/src/impossibility/scenarios.cpp" "src/impossibility/CMakeFiles/discs_impossibility.dir/scenarios.cpp.o" "gcc" "src/impossibility/CMakeFiles/discs_impossibility.dir/scenarios.cpp.o.d"
+  "/root/repo/src/impossibility/visibility.cpp" "src/impossibility/CMakeFiles/discs_impossibility.dir/visibility.cpp.o" "gcc" "src/impossibility/CMakeFiles/discs_impossibility.dir/visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/discs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/discs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/discs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/discs_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/discs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/discs_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/discs_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/discs_history.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_impossibility.dir/auditor.cpp.o"
+  "CMakeFiles/discs_impossibility.dir/auditor.cpp.o.d"
+  "CMakeFiles/discs_impossibility.dir/constructions.cpp.o"
+  "CMakeFiles/discs_impossibility.dir/constructions.cpp.o.d"
+  "CMakeFiles/discs_impossibility.dir/induction.cpp.o"
+  "CMakeFiles/discs_impossibility.dir/induction.cpp.o.d"
+  "CMakeFiles/discs_impossibility.dir/properties.cpp.o"
+  "CMakeFiles/discs_impossibility.dir/properties.cpp.o.d"
+  "CMakeFiles/discs_impossibility.dir/scenarios.cpp.o"
+  "CMakeFiles/discs_impossibility.dir/scenarios.cpp.o.d"
+  "CMakeFiles/discs_impossibility.dir/visibility.cpp.o"
+  "CMakeFiles/discs_impossibility.dir/visibility.cpp.o.d"
+  "libdiscs_impossibility.a"
+  "libdiscs_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

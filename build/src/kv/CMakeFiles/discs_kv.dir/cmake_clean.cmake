@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_kv.dir/store.cpp.o"
+  "CMakeFiles/discs_kv.dir/store.cpp.o.d"
+  "libdiscs_kv.a"
+  "libdiscs_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

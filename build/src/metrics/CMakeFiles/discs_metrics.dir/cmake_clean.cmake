@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/discs_metrics.dir/metrics.cpp.o.d"
+  "libdiscs_metrics.a"
+  "libdiscs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_par.dir/parallel.cpp.o"
+  "CMakeFiles/discs_par.dir/parallel.cpp.o.d"
+  "libdiscs_par.a"
+  "libdiscs_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/common/client.cpp" "src/proto/CMakeFiles/discs_proto.dir/common/client.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/common/client.cpp.o.d"
+  "/root/repo/src/proto/common/cluster.cpp" "src/proto/CMakeFiles/discs_proto.dir/common/cluster.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/common/cluster.cpp.o.d"
+  "/root/repo/src/proto/common/payloads.cpp" "src/proto/CMakeFiles/discs_proto.dir/common/payloads.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/common/payloads.cpp.o.d"
+  "/root/repo/src/proto/common/server.cpp" "src/proto/CMakeFiles/discs_proto.dir/common/server.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/common/server.cpp.o.d"
+  "/root/repo/src/proto/cops/cops.cpp" "src/proto/CMakeFiles/discs_proto.dir/cops/cops.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/cops/cops.cpp.o.d"
+  "/root/repo/src/proto/copssnow/copssnow.cpp" "src/proto/CMakeFiles/discs_proto.dir/copssnow/copssnow.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/copssnow/copssnow.cpp.o.d"
+  "/root/repo/src/proto/eiger/eiger.cpp" "src/proto/CMakeFiles/discs_proto.dir/eiger/eiger.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/eiger/eiger.cpp.o.d"
+  "/root/repo/src/proto/fatcops/fatcops.cpp" "src/proto/CMakeFiles/discs_proto.dir/fatcops/fatcops.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/fatcops/fatcops.cpp.o.d"
+  "/root/repo/src/proto/gentlerain/gentlerain.cpp" "src/proto/CMakeFiles/discs_proto.dir/gentlerain/gentlerain.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/gentlerain/gentlerain.cpp.o.d"
+  "/root/repo/src/proto/naivefast/naivefast.cpp" "src/proto/CMakeFiles/discs_proto.dir/naivefast/naivefast.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/naivefast/naivefast.cpp.o.d"
+  "/root/repo/src/proto/ramp/ramp.cpp" "src/proto/CMakeFiles/discs_proto.dir/ramp/ramp.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/ramp/ramp.cpp.o.d"
+  "/root/repo/src/proto/registry.cpp" "src/proto/CMakeFiles/discs_proto.dir/registry.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/registry.cpp.o.d"
+  "/root/repo/src/proto/spanner/spanner.cpp" "src/proto/CMakeFiles/discs_proto.dir/spanner/spanner.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/spanner/spanner.cpp.o.d"
+  "/root/repo/src/proto/stubborn/stubborn.cpp" "src/proto/CMakeFiles/discs_proto.dir/stubborn/stubborn.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/stubborn/stubborn.cpp.o.d"
+  "/root/repo/src/proto/wren/wren.cpp" "src/proto/CMakeFiles/discs_proto.dir/wren/wren.cpp.o" "gcc" "src/proto/CMakeFiles/discs_proto.dir/wren/wren.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/discs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/discs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/discs_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/discs_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/discs_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_proto.dir/common/client.cpp.o"
+  "CMakeFiles/discs_proto.dir/common/client.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/common/cluster.cpp.o"
+  "CMakeFiles/discs_proto.dir/common/cluster.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/common/payloads.cpp.o"
+  "CMakeFiles/discs_proto.dir/common/payloads.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/common/server.cpp.o"
+  "CMakeFiles/discs_proto.dir/common/server.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/cops/cops.cpp.o"
+  "CMakeFiles/discs_proto.dir/cops/cops.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/copssnow/copssnow.cpp.o"
+  "CMakeFiles/discs_proto.dir/copssnow/copssnow.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/eiger/eiger.cpp.o"
+  "CMakeFiles/discs_proto.dir/eiger/eiger.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/fatcops/fatcops.cpp.o"
+  "CMakeFiles/discs_proto.dir/fatcops/fatcops.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/gentlerain/gentlerain.cpp.o"
+  "CMakeFiles/discs_proto.dir/gentlerain/gentlerain.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/naivefast/naivefast.cpp.o"
+  "CMakeFiles/discs_proto.dir/naivefast/naivefast.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/ramp/ramp.cpp.o"
+  "CMakeFiles/discs_proto.dir/ramp/ramp.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/registry.cpp.o"
+  "CMakeFiles/discs_proto.dir/registry.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/spanner/spanner.cpp.o"
+  "CMakeFiles/discs_proto.dir/spanner/spanner.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/stubborn/stubborn.cpp.o"
+  "CMakeFiles/discs_proto.dir/stubborn/stubborn.cpp.o.d"
+  "CMakeFiles/discs_proto.dir/wren/wren.cpp.o"
+  "CMakeFiles/discs_proto.dir/wren/wren.cpp.o.d"
+  "libdiscs_proto.a"
+  "libdiscs_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

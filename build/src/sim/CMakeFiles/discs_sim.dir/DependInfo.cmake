@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/message.cpp" "src/sim/CMakeFiles/discs_sim.dir/message.cpp.o" "gcc" "src/sim/CMakeFiles/discs_sim.dir/message.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/discs_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/discs_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/sim/CMakeFiles/discs_sim.dir/replay.cpp.o" "gcc" "src/sim/CMakeFiles/discs_sim.dir/replay.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/discs_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/discs_sim.dir/schedule.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/discs_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/discs_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/discs_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/discs_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/discs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_sim.dir/message.cpp.o"
+  "CMakeFiles/discs_sim.dir/message.cpp.o.d"
+  "CMakeFiles/discs_sim.dir/network.cpp.o"
+  "CMakeFiles/discs_sim.dir/network.cpp.o.d"
+  "CMakeFiles/discs_sim.dir/replay.cpp.o"
+  "CMakeFiles/discs_sim.dir/replay.cpp.o.d"
+  "CMakeFiles/discs_sim.dir/schedule.cpp.o"
+  "CMakeFiles/discs_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/discs_sim.dir/simulation.cpp.o"
+  "CMakeFiles/discs_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/discs_sim.dir/trace.cpp.o"
+  "CMakeFiles/discs_sim.dir/trace.cpp.o.d"
+  "libdiscs_sim.a"
+  "libdiscs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_util.dir/fmt.cpp.o"
+  "CMakeFiles/discs_util.dir/fmt.cpp.o.d"
+  "CMakeFiles/discs_util.dir/log.cpp.o"
+  "CMakeFiles/discs_util.dir/log.cpp.o.d"
+  "CMakeFiles/discs_util.dir/rng.cpp.o"
+  "CMakeFiles/discs_util.dir/rng.cpp.o.d"
+  "libdiscs_util.a"
+  "libdiscs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

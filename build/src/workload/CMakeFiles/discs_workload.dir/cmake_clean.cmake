@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_workload.dir/workload.cpp.o"
+  "CMakeFiles/discs_workload.dir/workload.cpp.o.d"
+  "libdiscs_workload.a"
+  "libdiscs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

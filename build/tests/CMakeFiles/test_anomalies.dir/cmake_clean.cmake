@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anomalies.dir/test_anomalies.cpp.o"
+  "CMakeFiles/test_anomalies.dir/test_anomalies.cpp.o.d"
+  "test_anomalies"
+  "test_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
