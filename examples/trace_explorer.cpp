@@ -1,16 +1,39 @@
-// trace_explorer: run a protocol through a named scenario and print the
-// annotated execution trace plus the property audit — the debugging lens
-// used while building the protocols, offered as a tool.
+// trace_explorer: the observability CLI.
 //
-// Usage: trace_explorer [protocol] [scenario]
-//   protocol: any registry name                (default: cops-snow)
-//   scenario: quickread | chase | fracture | lag | induction
-//             (default: quickread)
+// Two families of commands:
+//
+//   Artifact commands (work on exported JSONL traces, see docs/TRACING.md):
+//     export <protocol> <scenario> <file>   capture a scenario and write it
+//     inspect <file> [--process N] [--kind K]
+//                                           pretty-print an exported trace,
+//                                           optionally filtered
+//     replay <file>                         re-execute on a fresh simulation
+//                                           and verify the byte-exact
+//                                           round-trip guarantee
+//     check <file>                          re-run the consistency checkers
+//                                           on the imported history
+//     counters <protocol> <scenario>        run a scenario and print the
+//                                           counter registry
+//
+//   Live-run commands (the original debugging lens; also the default when
+//   the first argument is a protocol name):
+//     run [protocol] [scenario]             annotated trace + property audit
+//       scenario: quickread | chase | fracture | lag | induction
+//
+// Exportable scenarios: quickread | mixed | violation.  The induction
+// scenario is intentionally not exportable — it branches configurations,
+// which is not a single linear event sequence (see docs/TRACING.md).
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 
+#include "consistency/checkers.h"
 #include "impossibility/induction.h"
 #include "impossibility/scenarios.h"
+#include "obs/registry.h"
+#include "obs/trace_io.h"
 #include "proto/common/client.h"
 #include "proto/registry.h"
 #include "sim/schedule.h"
@@ -28,6 +51,235 @@ proto::ClusterConfig default_cluster() {
   cfg.num_objects = 2;
   return cfg;
 }
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  trace_explorer export <protocol> <scenario> <file>\n"
+      "  trace_explorer inspect <file> [--process N] [--kind K]\n"
+      "  trace_explorer replay <file>\n"
+      "  trace_explorer check <file>\n"
+      "  trace_explorer counters <protocol> <scenario>\n"
+      "  trace_explorer run [protocol] [scenario]\n"
+      "exportable scenarios: " << join(obs::exportable_scenarios(), " | ")
+      << "\nrun scenarios: quickread | chase | fracture | lag | induction\n"
+      "protocols:";
+  for (const auto& p : proto::all_protocols()) std::cerr << " " << p->name();
+  std::cerr << "\n";
+  return 2;
+}
+
+std::unique_ptr<proto::Protocol> resolve_protocol(const std::string& name) {
+  try {
+    return proto::protocol_by_name(name);
+  } catch (const CheckFailure& e) {
+    std::cerr << e.what() << "\nknown protocols:";
+    for (const auto& p : proto::all_protocols())
+      std::cerr << " " << p->name();
+    std::cerr << "\n";
+    return nullptr;
+  }
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::optional<obs::TraceDoc> load_doc(const std::string& path) {
+  auto text = read_file(path);
+  if (!text) return std::nullopt;
+  try {
+    return obs::import_jsonl(*text);
+  } catch (const CheckFailure& e) {
+    std::cerr << path << ": " << e.what() << "\n";
+    return std::nullopt;
+  }
+}
+
+std::string message_line(const obs::ExportedMessage& m) {
+  std::ostringstream os;
+  os << to_string(m.id) << " " << to_string(m.src) << "->" << to_string(m.dst)
+     << " [" << m.kind << "] " << m.desc << " (" << m.bytes << "B";
+  if (!m.values.empty())
+    os << ", carries " << join(m.values, ",", [](ValueId v) {
+      return to_string(v);
+    });
+  os << ")";
+  return os.str();
+}
+
+// --- export ---------------------------------------------------------------
+
+int cmd_export(const std::string& proto_name, const std::string& scenario,
+               const std::string& path) {
+  auto protocol = resolve_protocol(proto_name);
+  if (!protocol) return 2;
+  obs::TraceDoc doc;
+  try {
+    doc = obs::capture_scenario(*protocol, scenario, default_cluster());
+  } catch (const CheckFailure& e) {
+    std::cerr << e.what() << "\nexportable scenarios: "
+              << join(obs::exportable_scenarios(), " | ") << "\n";
+    return 2;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << obs::export_jsonl(doc);
+  std::cout << "wrote " << path << ": " << doc.protocol << "/" << doc.scenario
+            << ", " << doc.events.size() << " events, "
+            << doc.invokes.size() << " invokes, "
+            << doc.history.txs().size() << " transactions\n";
+  return 0;
+}
+
+// --- inspect --------------------------------------------------------------
+
+struct InspectFilter {
+  std::optional<std::uint64_t> process;
+  std::optional<std::string> kind;
+
+  bool matches(const obs::ExportedEvent& e) const {
+    if (process) {
+      ProcessId p(*process);
+      bool hit = false;
+      if (e.event.kind == sim::Event::Kind::kStep) hit = (e.event.process == p);
+      if (e.delivered) hit |= (e.delivered->src == p || e.delivered->dst == p);
+      for (const auto& m : e.sent) hit |= (m.src == p || m.dst == p);
+      for (const auto& m : e.consumed) hit |= (m.src == p || m.dst == p);
+      if (!hit) return false;
+    }
+    if (kind) {
+      bool hit = false;
+      if (e.delivered) hit |= (e.delivered->kind == *kind);
+      for (const auto& m : e.sent) hit |= (m.kind == *kind);
+      for (const auto& m : e.consumed) hit |= (m.kind == *kind);
+      if (!hit) return false;
+    }
+    return true;
+  }
+};
+
+int cmd_inspect(const std::string& path, const InspectFilter& filter) {
+  auto doc = load_doc(path);
+  if (!doc) return 1;
+
+  std::cout << "schema:   " << doc->schema << "\n"
+            << "protocol: " << doc->protocol << "\n"
+            << "scenario: " << doc->scenario << "\n"
+            << "cluster:  " << doc->cluster.num_servers << " servers, "
+            << doc->cluster.num_clients << " clients, "
+            << doc->cluster.num_objects << " objects\n";
+  std::cout << "initial: ";
+  for (const auto& [obj, v] : doc->initial)
+    std::cout << " " << to_string(obj) << "=" << to_string(v);
+  std::cout << "\n\ninvocations:\n";
+  for (const auto& inv : doc->invokes)
+    std::cout << "  at=" << inv.at << " " << to_string(inv.client) << " "
+              << inv.spec.describe() << "\n";
+
+  std::cout << "\nevents (" << doc->events.size() << " total";
+  if (filter.process) std::cout << ", filter process=p" << *filter.process;
+  if (filter.kind) std::cout << ", filter kind=" << *filter.kind;
+  std::cout << "):\n";
+  std::size_t shown = 0;
+  for (const auto& e : doc->events) {
+    if (!filter.matches(e)) continue;
+    ++shown;
+    std::cout << "  #" << e.seq << " ";
+    if (e.event.kind == sim::Event::Kind::kStep) {
+      std::cout << "step " << to_string(e.event.process) << "\n";
+      for (const auto& m : e.consumed)
+        std::cout << "      consumed " << message_line(m) << "\n";
+      for (const auto& m : e.sent)
+        std::cout << "      sent     " << message_line(m) << "\n";
+    } else {
+      std::cout << "deliver " << message_line(*e.delivered) << "\n";
+    }
+  }
+  std::cout << "  (" << shown << " shown)\n";
+
+  std::cout << "\nhistory (" << doc->history.txs().size()
+            << " transactions):\n";
+  for (const auto& tx : doc->history.txs())
+    std::cout << "  " << tx.describe() << "\n";
+  std::cout << "\nfinal digest: " << doc->final_digest << "\n";
+  return 0;
+}
+
+// --- replay ---------------------------------------------------------------
+
+int cmd_replay(const std::string& path) {
+  auto doc = load_doc(path);
+  if (!doc) return 1;
+  obs::DocReplay replay = obs::replay_doc(*doc);
+  std::cout << "replayed " << replay.applied << "/" << doc->events.size()
+            << " events\n";
+  if (!replay.ok) {
+    std::cout << "replay FAILED: " << replay.error << "\n";
+    return 1;
+  }
+  bool bytes_equal =
+      obs::export_jsonl(replay.reexport) == obs::export_jsonl(*doc);
+  std::cout << "final digest match: " << (replay.digest_match ? "yes" : "NO")
+            << "\nbyte-exact re-export: " << (bytes_equal ? "yes" : "NO")
+            << "\nreplayed history: " << replay.history.txs().size()
+            << " transactions\n";
+  return (replay.digest_match && bytes_equal) ? 0 : 1;
+}
+
+// --- check ----------------------------------------------------------------
+
+int cmd_check(const std::string& path) {
+  auto doc = load_doc(path);
+  if (!doc) return 1;
+  std::cout << "checking " << doc->history.txs().size()
+            << " transactions from " << doc->protocol << "/" << doc->scenario
+            << "\n";
+  bool violated = false;
+  struct Named {
+    const char* name;
+    cons::CheckResult result;
+  };
+  for (const auto& [name, result] :
+       {Named{"reads-valid", cons::check_reads_valid(doc->history)},
+        Named{"causal", cons::check_causal_consistency(doc->history)},
+        Named{"read-atomicity", cons::check_read_atomicity(doc->history)}}) {
+    std::cout << "  " << pad(name, 16) << " " << result.summary() << "\n";
+    violated |= !result.ok();
+  }
+  return violated ? 1 : 0;
+}
+
+// --- counters -------------------------------------------------------------
+
+int cmd_counters(const std::string& proto_name, const std::string& scenario) {
+  auto protocol = resolve_protocol(proto_name);
+  if (!protocol) return 2;
+  obs::Registry::global().reset();
+  try {
+    obs::capture_scenario(*protocol, scenario, default_cluster());
+  } catch (const CheckFailure& e) {
+    std::cerr << e.what() << "\nexportable scenarios: "
+              << join(obs::exportable_scenarios(), " | ") << "\n";
+    return 2;
+  }
+  std::cout << "counters for " << protocol->name() << "/" << scenario
+            << ":\n"
+            << obs::Registry::global().table();
+  return 0;
+}
+
+// --- live-run commands (the original explorer) ----------------------------
 
 int quickread(const proto::Protocol& protocol) {
   sim::Simulation sim;
@@ -58,22 +310,9 @@ int quickread(const proto::Protocol& protocol) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string proto_name = argc > 1 ? argv[1] : "cops-snow";
-  std::string scenario = argc > 2 ? argv[2] : "quickread";
-
-  std::unique_ptr<proto::Protocol> protocol;
-  try {
-    protocol = proto::protocol_by_name(proto_name);
-  } catch (const CheckFailure& e) {
-    std::cerr << e.what() << "\nknown protocols:";
-    for (const auto& p : proto::all_protocols())
-      std::cerr << " " << p->name();
-    std::cerr << "\n";
-    return 2;
-  }
+int cmd_run(const std::string& proto_name, const std::string& scenario) {
+  auto protocol = resolve_protocol(proto_name);
+  if (!protocol) return 2;
 
   std::cout << "protocol: " << protocol->name() << " ("
             << protocol->consistency_claim() << ")\nscenario: " << scenario
@@ -112,4 +351,58 @@ int main(int argc, char** argv) {
   std::cerr << "unknown scenario '" << scenario
             << "' (quickread | chase | fracture | lag | induction)\n";
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  if (args.empty()) return cmd_run("cops-snow", "quickread");
+
+  const std::string& cmd = args[0];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage();
+
+  if (cmd == "export") {
+    if (args.size() != 4) return usage();
+    return cmd_export(args[1], args[2], args[3]);
+  }
+  if (cmd == "inspect") {
+    if (args.size() < 2) return usage();
+    InspectFilter filter;
+    for (std::size_t i = 2; i < args.size(); i += 2) {
+      if (i + 1 >= args.size()) return usage();
+      if (args[i] == "--process")
+        filter.process = std::stoull(args[i + 1]);
+      else if (args[i] == "--kind")
+        filter.kind = args[i + 1];
+      else
+        return usage();
+    }
+    return cmd_inspect(args[1], filter);
+  }
+  if (cmd == "replay") {
+    if (args.size() != 2) return usage();
+    return cmd_replay(args[1]);
+  }
+  if (cmd == "check") {
+    if (args.size() != 2) return usage();
+    return cmd_check(args[1]);
+  }
+  if (cmd == "counters") {
+    if (args.size() != 3) return usage();
+    return cmd_counters(args[1], args[2]);
+  }
+  if (cmd == "run") {
+    return cmd_run(args.size() > 1 ? args[1] : "cops-snow",
+                   args.size() > 2 ? args[2] : "quickread");
+  }
+
+  // Back-compat: `trace_explorer <protocol> [scenario]` still works when
+  // the first argument names a registered protocol.
+  for (const auto& p : proto::all_protocols()) {
+    if (p->name() == cmd)
+      return cmd_run(cmd, args.size() > 1 ? args[1] : "quickread");
+  }
+  return usage();
 }

@@ -5,6 +5,7 @@
 
 #include "consistency/checkers.h"
 #include "impossibility/scenarios.h"
+#include "obs/registry.h"
 #include "proto/common/client.h"
 #include "sim/schedule.h"
 #include "util/check.h"
@@ -159,8 +160,11 @@ SoloResult run_solo_until_ms(sim::Simulation& sim, const Cluster& cluster,
 
 }  // namespace
 
-InductionReport run_induction(const Protocol& proto, const ClusterConfig& cfg,
-                              const InductionOptions& options) {
+namespace {
+
+InductionReport run_induction_impl(const Protocol& proto,
+                                   const ClusterConfig& cfg,
+                                   const InductionOptions& options) {
   InductionReport report;
   report.protocol = proto.name();
 
@@ -364,6 +368,19 @@ InductionReport run_induction(const Protocol& proto, const ClusterConfig& cfg,
           " prefixes the values written by Tw are still not visible and "
           "every prefix required one more message — the troublesome "
           "execution alpha");
+  return report;
+}
+
+}  // namespace
+
+InductionReport run_induction(const Protocol& proto, const ClusterConfig& cfg,
+                              const InductionOptions& options) {
+  auto& reg = obs::Registry::global();
+  reg.inc("induction.runs");
+  InductionReport report = run_induction_impl(proto, cfg, options);
+  for (const auto& s : report.steps)
+    if (!s.ms_description.empty()) reg.inc("induction.ms_exhibited");
+  reg.inc(cat("induction.outcome.", report.outcome_str()));
   return report;
 }
 

@@ -1,6 +1,7 @@
 #include "impossibility/visibility.h"
 
 #include "impossibility/properties.h"
+#include "obs/registry.h"
 #include "proto/common/client.h"
 #include "sim/schedule.h"
 #include "util/rng.h"
@@ -35,6 +36,7 @@ ProbeResult probe_visibility(const sim::Simulation& config,
                              discs::proto::IdSource& ids,
                              const ProbeOptions& options) {
   ProbeResult result;
+  obs::Registry::global().inc("induction.visibility_probes");
 
   std::vector<ObjectId> objects;
   for (const auto& [obj, v] : expected) objects.push_back(obj);

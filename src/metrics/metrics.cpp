@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
 #include "util/fmt.h"
 
 namespace discs::metrics {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
 
 void Summary::ensure_sorted() const {
   if (sorted_) return;
@@ -16,24 +21,25 @@ void Summary::ensure_sorted() const {
 }
 
 double Summary::mean() const {
-  if (samples_.empty()) return 0;
+  if (samples_.empty()) return kNan;
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
          static_cast<double>(samples_.size());
 }
 
 double Summary::min() const {
   ensure_sorted();
-  return samples_.empty() ? 0 : samples_.front();
+  return samples_.empty() ? kNan : samples_.front();
 }
 
 double Summary::max() const {
   ensure_sorted();
-  return samples_.empty() ? 0 : samples_.back();
+  return samples_.empty() ? kNan : samples_.back();
 }
 
 double Summary::percentile(double q) const {
-  if (samples_.empty()) return 0;
+  if (samples_.empty()) return kNan;
   ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
   double rank = q * static_cast<double>(samples_.size() - 1);
   auto lo = static_cast<std::size_t>(std::floor(rank));
   auto hi = static_cast<std::size_t>(std::ceil(rank));

@@ -15,10 +15,13 @@ class Summary {
     sorted_ = false;
   }
   std::size_t count() const { return samples_.size(); }
+  /// Statistics of an empty summary are NaN, never 0: a zero is a
+  /// measurement, and benches must not report one that was never taken.
   double mean() const;
   double min() const;
   double max() const;
-  /// q in [0, 1]; nearest-rank percentile.
+  /// Linear-interpolation percentile; q is clamped into [0, 1].
+  /// NaN when empty.
   double percentile(double q) const;
   double p50() const { return percentile(0.50); }
   double p95() const { return percentile(0.95); }

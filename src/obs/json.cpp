@@ -1,0 +1,310 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/fmt.h"
+
+namespace discs::obs {
+
+bool Json::as_bool() const {
+  DISCS_CHECK_MSG(is_bool(), "json: not a bool");
+  return std::get<bool>(v_);
+}
+
+std::uint64_t Json::as_uint() const {
+  DISCS_CHECK_MSG(is_uint(), "json: not an unsigned integer");
+  return std::get<std::uint64_t>(v_);
+}
+
+double Json::as_double() const {
+  if (is_uint()) return static_cast<double>(std::get<std::uint64_t>(v_));
+  DISCS_CHECK_MSG(is_double(), "json: not a number");
+  return std::get<double>(v_);
+}
+
+const std::string& Json::as_string() const {
+  DISCS_CHECK_MSG(is_string(), "json: not a string");
+  return std::get<std::string>(v_);
+}
+
+const JsonArray& Json::as_array() const {
+  DISCS_CHECK_MSG(is_array(), "json: not an array");
+  return std::get<JsonArray>(v_);
+}
+
+const JsonObject& Json::as_object() const {
+  DISCS_CHECK_MSG(is_object(), "json: not an object");
+  return std::get<JsonObject>(v_);
+}
+
+const Json* Json::find(std::string_view key) const {
+  for (const auto& [k, v] : as_object())
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::get(std::string_view key) const {
+  const Json* j = find(key);
+  DISCS_CHECK_MSG(j != nullptr, "json: missing field '" << key << "'");
+  return *j;
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void dump_into(const Json& j, std::string& out);
+
+void dump_double(double d, std::string& out) {
+  DISCS_CHECK_MSG(std::isfinite(d), "json: non-finite number");
+  // Shortest representation that round-trips a double.
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  DISCS_CHECK(ec == std::errc());
+  out.append(buf, end);
+}
+
+void dump_into(const Json& j, std::string& out) {
+  if (j.is_null()) {
+    out += "null";
+  } else if (j.is_bool()) {
+    out += j.as_bool() ? "true" : "false";
+  } else if (j.is_uint()) {
+    out += std::to_string(j.as_uint());
+  } else if (j.is_double()) {
+    dump_double(j.as_double(), out);
+  } else if (j.is_string()) {
+    out += json_quote(j.as_string());
+  } else if (j.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const auto& e : j.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_into(e, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : j.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += json_quote(k);
+      out.push_back(':');
+      dump_into(v, out);
+    }
+    out.push_back('}');
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json j = parse_value();
+    skip_ws();
+    DISCS_CHECK_MSG(pos_ == text_.size(),
+                    "json: trailing characters at offset " << pos_);
+    return j;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) {
+    DISCS_CHECK_MSG(false, "json: " << what << " at offset " << pos_);
+    std::abort();  // unreachable; CHECK throws
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(cat("expected '", c, "'"));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (consume_word("true")) return Json(true);
+    if (consume_word("false")) return Json(false);
+    if (consume_word("null")) return Json(nullptr);
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) return Json(std::move(obj));
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return Json(std::move(obj));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) return Json(std::move(arr));
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return Json(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only emits \u00xx for control bytes; decode the
+          // low byte and reject the surrogate/multibyte range we never emit.
+          if (code > 0xFF) fail("unsupported \\u escape > 0xFF");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    std::size_t start = pos_;
+    bool neg = consume('-');
+    bool fractional = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        fractional = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view tok = text_.substr(start, pos_ - start);
+    if (!neg && !fractional) {
+      std::uint64_t u = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), u);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Json(u);
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || p != tok.data() + tok.size()) fail("bad number");
+    return Json(d);
+  }
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_into(*this, out);
+  return out;
+}
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace discs::obs

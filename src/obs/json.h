@@ -1,0 +1,81 @@
+// Minimal JSON value, writer and parser for the trace exporter.
+//
+// The container ships no third-party JSON dependency, so this is a small
+// self-contained implementation with two properties the trace schema needs
+// and general-purpose libraries do not guarantee:
+//   - unsigned 64-bit integers round-trip EXACTLY (message ids pack a
+//     20-bit sender and 40-bit sequence; doubles would corrupt them);
+//   - objects preserve insertion order and the writer is deterministic, so
+//     export -> import -> export is byte-identical (the round-trip guarantee
+//     docs/TRACING.md promises).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace discs::obs {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered object: field order is part of the wire format.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(std::uint64_t n) : v_(n) {}
+  Json(int n) : v_(static_cast<std::uint64_t>(n)) {}
+  Json(double d) : v_(d) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(JsonArray a) : v_(std::move(a)) {}
+  Json(JsonObject o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_uint() const { return std::holds_alternative<std::uint64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
+
+  /// Typed accessors; throw CheckFailure on kind mismatch.
+  bool as_bool() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;  ///< also accepts an integer value
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object field lookup; throws CheckFailure when absent (`get`) or
+  /// returns nullptr (`find`).
+  const Json& get(std::string_view key) const;
+  const Json* find(std::string_view key) const;
+
+  /// Compact deterministic serialization (no whitespace).
+  std::string dump() const;
+
+  /// Strict parser for one JSON document.  Throws CheckFailure with a byte
+  /// offset on malformed input.
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::uint64_t, double, std::string,
+               JsonArray, JsonObject>
+      v_;
+};
+
+/// Escapes a string into a JSON string literal (with quotes).
+std::string json_quote(std::string_view s);
+
+}  // namespace discs::obs

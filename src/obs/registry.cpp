@@ -1,0 +1,88 @@
+#include "obs/registry.h"
+
+#include <limits>
+#include <sstream>
+
+#include "util/fmt.h"
+
+namespace discs::obs {
+
+Registry& Registry::global() {
+  static thread_local Registry reg;
+  return reg;
+}
+
+std::uint64_t& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), 0).first;
+  return it->second;
+}
+
+std::uint64_t Registry::value(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::set_gauge(std::string_view name, double v) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    gauges_.emplace(std::string(name), v);
+  else
+    it->second = v;
+}
+
+double Registry::gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? std::numeric_limits<double>::quiet_NaN()
+                             : it->second;
+}
+
+void Registry::reset() {
+  for (auto& [name, v] : counters_) v = 0;
+  gauges_.clear();
+}
+
+namespace {
+bool has_prefix(const std::string& name, std::string_view prefix) {
+  return name.compare(0, prefix.size(), prefix) == 0;
+}
+}  // namespace
+
+std::map<std::string, std::uint64_t> Registry::counters(
+    std::string_view prefix) const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, v] : counters_)
+    if (has_prefix(name, prefix)) out.emplace(name, v);
+  return out;
+}
+
+std::map<std::string, double> Registry::gauges(std::string_view prefix) const {
+  std::map<std::string, double> out;
+  for (const auto& [name, v] : gauges_)
+    if (has_prefix(name, prefix)) out.emplace(name, v);
+  return out;
+}
+
+std::string Registry::table(std::string_view prefix) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"counter", "value"});
+  for (const auto& [name, v] : counters(prefix))
+    rows.push_back({name, cat(v)});
+  for (const auto& [name, v] : gauges(prefix))
+    rows.push_back({name + " (gauge)", fixed(v, 2)});
+  return ascii_table(rows);
+}
+
+std::map<std::string, std::uint64_t> CounterDelta::delta(
+    std::string_view prefix) const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, v] : reg_.counters(prefix)) {
+    auto it = before_.find(name);
+    std::uint64_t base = it == before_.end() ? 0 : it->second;
+    if (v != base) out.emplace(name, v - base);
+  }
+  return out;
+}
+
+}  // namespace discs::obs

@@ -1,0 +1,88 @@
+// Counter/gauge registry — the process-wide observability surface.
+//
+// Every layer of DISCS (the simulator, the protocol framework, the
+// induction driver) records what it does into a Registry: messages sent and
+// delivered per payload kind, rounds per read-only transaction, visibility
+// probes, configuration snapshots.  The benches print the registry next to
+// their tables so every reported number has a measured, inspectable basis.
+//
+// Design constraints, in order:
+//   - the simulator's hot path (Simulation::step) increments counters, so
+//     lookups must be cheap and allocation-free after warm-up;
+//   - `discs::par` runs simulations on worker threads, so the global
+//     registry is thread-local (each thread accumulates independently; the
+//     deterministic single-threaded runs the benches report on all happen
+//     on the caller's thread);
+//   - counter references stay valid forever: the registry never erases
+//     entries (reset() zeroes values but keeps the nodes), so callers may
+//     cache `counter()` references across reset() calls.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace discs::obs {
+
+class Registry {
+ public:
+  /// The calling thread's registry.  Thread-local: counts from `discs::par`
+  /// worker threads accumulate in those threads' registries and are not
+  /// merged (document-level decision: the deterministic runs that matter
+  /// are single-threaded).
+  static Registry& global();
+
+  /// Stable reference to a counter, created at zero on first use.  The
+  /// reference remains valid (and is re-zeroed, not invalidated) across
+  /// reset().
+  std::uint64_t& counter(std::string_view name);
+
+  void inc(std::string_view name, std::uint64_t delta = 1) {
+    counter(name) += delta;
+  }
+
+  /// Current counter value; 0 if the counter was never touched.
+  std::uint64_t value(std::string_view name) const;
+
+  void set_gauge(std::string_view name, double v);
+  /// Current gauge value; NaN if the gauge was never set.
+  double gauge(std::string_view name) const;
+
+  /// Zeroes all counters and clears all gauges, keeping counter nodes (and
+  /// therefore cached references) alive.
+  void reset();
+
+  /// Counters whose name starts with `prefix` (all when empty), sorted by
+  /// name.  Zero-valued counters are included: a zero is a measurement.
+  std::map<std::string, std::uint64_t> counters(
+      std::string_view prefix = "") const;
+  std::map<std::string, double> gauges(std::string_view prefix = "") const;
+
+  /// `name | value` ASCII table of counters under `prefix` (then gauges,
+  /// if any), ready for bench output.
+  std::string table(std::string_view prefix = "") const;
+
+ private:
+  // node-based maps: stable element addresses across insertions.
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+/// RAII delta scope: captures the registry's counters at construction;
+/// delta() reports how much each counter grew since then.  The benches use
+/// this to attribute counts to one protocol/workload cell.
+class CounterDelta {
+ public:
+  explicit CounterDelta(const Registry& reg) : reg_(reg), before_(reg.counters()) {}
+
+  /// Counters under `prefix` that changed since construction.
+  std::map<std::string, std::uint64_t> delta(std::string_view prefix = "") const;
+
+ private:
+  const Registry& reg_;
+  std::map<std::string, std::uint64_t> before_;
+};
+
+}  // namespace discs::obs

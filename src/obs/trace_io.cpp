@@ -1,0 +1,515 @@
+#include "obs/trace_io.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+#include "proto/common/client.h"
+#include "proto/registry.h"
+#include "sim/schedule.h"
+#include "util/check.h"
+#include "util/fmt.h"
+
+namespace discs::obs {
+
+using discs::proto::ClientBase;
+using discs::proto::Cluster;
+using discs::proto::ClusterConfig;
+using discs::proto::IdSource;
+using discs::proto::TxSpec;
+
+ExportedMessage ExportedMessage::from(const sim::Message& m) {
+  ExportedMessage out;
+  out.id = m.id;
+  out.src = m.src;
+  out.dst = m.dst;
+  if (m.payload) {
+    out.kind = std::string(m.payload->kind());
+    out.desc = m.payload->describe();
+    out.values = m.payload->values_carried();
+    out.bytes = m.payload->byte_size();
+  }
+  return out;
+}
+
+TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
+                  const ClusterConfig& cfg, const sim::Simulation& sim,
+                  const Cluster& cluster, std::vector<InvokeRecord> invokes) {
+  TraceDoc doc;
+  doc.protocol = protocol.name();
+  doc.scenario = std::move(scenario);
+  doc.cluster = cfg;
+  doc.initial = cluster.initial_values;
+  doc.invokes = std::move(invokes);
+  std::sort(doc.invokes.begin(), doc.invokes.end(),
+            [](const InvokeRecord& a, const InvokeRecord& b) {
+              return a.at != b.at ? a.at < b.at
+                                  : a.spec.id.value() < b.spec.id.value();
+            });
+  for (const auto& rec : sim.trace().records()) {
+    ExportedEvent e;
+    e.event = rec.event;
+    e.seq = rec.seq;
+    for (const auto& m : rec.consumed)
+      e.consumed.push_back(ExportedMessage::from(m));
+    for (const auto& m : rec.sent) e.sent.push_back(ExportedMessage::from(m));
+    if (rec.event.kind == sim::Event::Kind::kDeliver)
+      e.delivered = ExportedMessage::from(rec.delivered);
+    doc.events.push_back(std::move(e));
+  }
+  doc.history = proto::collect_history(sim, cluster.clients,
+                                       cluster.initial_values);
+  doc.final_digest = sim.digest();
+  return doc;
+}
+
+// --- serialization ---------------------------------------------------------
+
+namespace {
+
+Json msg_json(const ExportedMessage& m) {
+  JsonArray values;
+  for (auto v : m.values) values.push_back(Json(v.value()));
+  return Json(JsonObject{{"id", Json(m.id.value())},
+                         {"src", Json(m.src.value())},
+                         {"dst", Json(m.dst.value())},
+                         {"kind", Json(m.kind)},
+                         {"desc", Json(m.desc)},
+                         {"values", Json(std::move(values))},
+                         {"bytes", Json(m.bytes)}});
+}
+
+ExportedMessage msg_from_json(const Json& j) {
+  ExportedMessage m;
+  m.id = MsgId(j.get("id").as_uint());
+  m.src = ProcessId(j.get("src").as_uint());
+  m.dst = ProcessId(j.get("dst").as_uint());
+  m.kind = j.get("kind").as_string();
+  m.desc = j.get("desc").as_string();
+  for (const auto& v : j.get("values").as_array())
+    m.values.push_back(ValueId(v.as_uint()));
+  m.bytes = j.get("bytes").as_uint();
+  return m;
+}
+
+Json tx_spec_json(const TxSpec& spec) {
+  JsonArray reads, writes;
+  for (auto obj : spec.read_set) reads.push_back(Json(obj.value()));
+  for (const auto& [obj, v] : spec.write_set)
+    writes.push_back(Json(JsonArray{Json(obj.value()), Json(v.value())}));
+  return Json(JsonObject{{"id", Json(spec.id.value())},
+                         {"reads", Json(std::move(reads))},
+                         {"writes", Json(std::move(writes))}});
+}
+
+TxSpec tx_spec_from_json(const Json& j) {
+  TxSpec spec;
+  spec.id = TxId(j.get("id").as_uint());
+  for (const auto& o : j.get("reads").as_array())
+    spec.read_set.push_back(ObjectId(o.as_uint()));
+  for (const auto& w : j.get("writes").as_array()) {
+    const auto& pair = w.as_array();
+    DISCS_CHECK_MSG(pair.size() == 2, "trace: malformed write pair");
+    spec.write_set.emplace_back(ObjectId(pair[0].as_uint()),
+                                ValueId(pair[1].as_uint()));
+  }
+  return spec;
+}
+
+Json header_json(const TraceDoc& doc) {
+  JsonArray initial;
+  for (const auto& [obj, v] : doc.initial)
+    initial.push_back(Json(JsonArray{Json(obj.value()), Json(v.value())}));
+  return Json(JsonObject{
+      {"record", Json("header")},
+      {"schema", Json(doc.schema)},
+      {"protocol", Json(doc.protocol)},
+      {"scenario", Json(doc.scenario)},
+      {"cluster",
+       Json(JsonObject{
+           {"servers", Json(std::uint64_t(doc.cluster.num_servers))},
+           {"clients", Json(std::uint64_t(doc.cluster.num_clients))},
+           {"objects", Json(std::uint64_t(doc.cluster.num_objects))},
+           {"replication", Json(std::uint64_t(doc.cluster.replication))},
+           {"tt_epsilon", Json(doc.cluster.tt_epsilon)},
+           {"gossip_interval",
+            Json(std::uint64_t(doc.cluster.gossip_interval))}})},
+      {"initial", Json(std::move(initial))}});
+}
+
+Json event_json(const ExportedEvent& e) {
+  JsonObject obj{{"record", Json("event")}, {"seq", Json(e.seq)}};
+  if (e.event.kind == sim::Event::Kind::kStep) {
+    obj.emplace_back("kind", Json("step"));
+    obj.emplace_back("process", Json(e.event.process.value()));
+    JsonArray consumed, sent;
+    for (const auto& m : e.consumed) consumed.push_back(msg_json(m));
+    for (const auto& m : e.sent) sent.push_back(msg_json(m));
+    obj.emplace_back("consumed", Json(std::move(consumed)));
+    obj.emplace_back("sent", Json(std::move(sent)));
+  } else {
+    obj.emplace_back("kind", Json("deliver"));
+    DISCS_CHECK_MSG(e.delivered.has_value(),
+                    "trace: deliver event without message");
+    obj.emplace_back("msg", msg_json(*e.delivered));
+  }
+  return Json(std::move(obj));
+}
+
+Json tx_json(const hist::TxRecord& t) {
+  JsonArray reads, writes;
+  for (const auto& r : t.reads)
+    reads.push_back(Json(JsonObject{
+        {"object", Json(r.object.value())},
+        {"value", r.responded ? Json(r.value.value()) : Json(nullptr)},
+        {"responded", Json(r.responded)}}));
+  for (const auto& w : t.writes)
+    writes.push_back(Json(JsonObject{{"object", Json(w.object.value())},
+                                     {"value", Json(w.value.value())},
+                                     {"acked", Json(w.acked)}}));
+  return Json(JsonObject{{"record", Json("tx")},
+                         {"id", Json(t.id.value())},
+                         {"client", Json(t.client.value())},
+                         {"invoked", Json(t.invoked)},
+                         {"completed", Json(t.completed)},
+                         {"invoke_seq", Json(t.invoke_seq)},
+                         {"complete_seq", Json(t.complete_seq)},
+                         {"reads", Json(std::move(reads))},
+                         {"writes", Json(std::move(writes))}});
+}
+
+hist::TxRecord tx_from_json(const Json& j) {
+  hist::TxRecord t;
+  t.id = TxId(j.get("id").as_uint());
+  t.client = ProcessId(j.get("client").as_uint());
+  t.invoked = j.get("invoked").as_bool();
+  t.completed = j.get("completed").as_bool();
+  t.invoke_seq = j.get("invoke_seq").as_uint();
+  t.complete_seq = j.get("complete_seq").as_uint();
+  for (const auto& r : j.get("reads").as_array()) {
+    hist::ReadOp op;
+    op.object = ObjectId(r.get("object").as_uint());
+    op.responded = r.get("responded").as_bool();
+    if (op.responded) op.value = ValueId(r.get("value").as_uint());
+    t.reads.push_back(op);
+  }
+  for (const auto& w : j.get("writes").as_array())
+    t.writes.push_back({ObjectId(w.get("object").as_uint()),
+                        ValueId(w.get("value").as_uint()),
+                        w.get("acked").as_bool()});
+  return t;
+}
+
+}  // namespace
+
+std::string export_jsonl(const TraceDoc& doc) {
+  std::string out;
+  out += header_json(doc).dump();
+  out += '\n';
+  for (const auto& inv : doc.invokes) {
+    out += Json(JsonObject{{"record", Json("invoke")},
+                           {"at", Json(inv.at)},
+                           {"client", Json(inv.client.value())},
+                           {"tx", tx_spec_json(inv.spec)}})
+               .dump();
+    out += '\n';
+  }
+  for (const auto& e : doc.events) {
+    out += event_json(e).dump();
+    out += '\n';
+  }
+  for (const auto& t : doc.history.txs()) {
+    out += tx_json(t).dump();
+    out += '\n';
+  }
+  out += Json(JsonObject{{"record", Json("footer")},
+                         {"events", Json(std::uint64_t(doc.events.size()))},
+                         {"final_digest", Json(doc.final_digest)}})
+             .dump();
+  out += '\n';
+  return out;
+}
+
+TraceDoc import_jsonl(std::string_view text) {
+  TraceDoc doc;
+  bool saw_header = false, saw_footer = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    Json j;
+    try {
+      j = Json::parse(line);
+    } catch (const CheckFailure& e) {
+      DISCS_CHECK_MSG(false, "trace line " << line_no << ": " << e.what());
+    }
+    const std::string& record = j.get("record").as_string();
+    if (record == "header") {
+      DISCS_CHECK_MSG(!saw_header, "trace: duplicate header");
+      saw_header = true;
+      doc.schema = j.get("schema").as_string();
+      DISCS_CHECK_MSG(doc.schema == kTraceSchema,
+                      "trace: unsupported schema '"
+                          << doc.schema << "' (expected " << kTraceSchema
+                          << ")");
+      doc.protocol = j.get("protocol").as_string();
+      doc.scenario = j.get("scenario").as_string();
+      const Json& c = j.get("cluster");
+      doc.cluster.num_servers = c.get("servers").as_uint();
+      doc.cluster.num_clients = c.get("clients").as_uint();
+      doc.cluster.num_objects = c.get("objects").as_uint();
+      doc.cluster.replication = c.get("replication").as_uint();
+      doc.cluster.tt_epsilon = c.get("tt_epsilon").as_uint();
+      doc.cluster.gossip_interval = c.get("gossip_interval").as_uint();
+      for (const auto& pair : j.get("initial").as_array()) {
+        const auto& kv = pair.as_array();
+        DISCS_CHECK_MSG(kv.size() == 2, "trace: malformed initial pair");
+        doc.initial[ObjectId(kv[0].as_uint())] = ValueId(kv[1].as_uint());
+        doc.history.set_initial(ObjectId(kv[0].as_uint()),
+                                ValueId(kv[1].as_uint()));
+      }
+      continue;
+    }
+    DISCS_CHECK_MSG(saw_header, "trace: first record must be the header");
+    if (record == "invoke") {
+      InvokeRecord inv;
+      inv.at = j.get("at").as_uint();
+      inv.client = ProcessId(j.get("client").as_uint());
+      inv.spec = tx_spec_from_json(j.get("tx"));
+      doc.invokes.push_back(std::move(inv));
+    } else if (record == "event") {
+      ExportedEvent e;
+      e.seq = j.get("seq").as_uint();
+      const std::string& kind = j.get("kind").as_string();
+      if (kind == "step") {
+        e.event = sim::Event::step(ProcessId(j.get("process").as_uint()));
+        for (const auto& m : j.get("consumed").as_array())
+          e.consumed.push_back(msg_from_json(m));
+        for (const auto& m : j.get("sent").as_array())
+          e.sent.push_back(msg_from_json(m));
+      } else if (kind == "deliver") {
+        e.delivered = msg_from_json(j.get("msg"));
+        e.event = sim::Event::deliver(e.delivered->id);
+      } else {
+        DISCS_CHECK_MSG(false, "trace: unknown event kind '" << kind << "'");
+      }
+      DISCS_CHECK_MSG(e.seq == doc.events.size(),
+                      "trace: event seq " << e.seq << " out of order");
+      doc.events.push_back(std::move(e));
+    } else if (record == "tx") {
+      doc.history.add(tx_from_json(j));
+    } else if (record == "footer") {
+      saw_footer = true;
+      DISCS_CHECK_MSG(j.get("events").as_uint() == doc.events.size(),
+                      "trace: footer event count mismatch");
+      doc.final_digest = j.get("final_digest").as_string();
+    } else {
+      DISCS_CHECK_MSG(false, "trace: unknown record '" << record << "'");
+    }
+  }
+  DISCS_CHECK_MSG(saw_header, "trace: missing header");
+  DISCS_CHECK_MSG(saw_footer, "trace: missing footer");
+  return doc;
+}
+
+// --- replay ----------------------------------------------------------------
+
+DocReplay replay_doc(const TraceDoc& doc, const proto::Protocol& protocol) {
+  DocReplay out;
+  if (protocol.name() != doc.protocol) {
+    out.error = cat("protocol mismatch: document was recorded with '",
+                    doc.protocol, "', got '", protocol.name(), "'");
+    return out;
+  }
+
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster = protocol.build(sim, doc.cluster, ids);
+  if (cluster.initial_values != doc.initial) {
+    out.error = "initial values diverged from the document (non-"
+                "deterministic build?)";
+    return out;
+  }
+
+  std::size_t next_invoke = 0;
+  auto run_invokes = [&]() {
+    while (next_invoke < doc.invokes.size() &&
+           doc.invokes[next_invoke].at <= sim.now()) {
+      const InvokeRecord& inv = doc.invokes[next_invoke++];
+      sim.process_as<ClientBase>(inv.client).invoke(inv.spec);
+    }
+  };
+
+  for (const auto& e : doc.events) {
+    run_invokes();
+    if (!sim.apply(e.event)) {
+      out.error = cat("replay diverged: event #", e.seq, " (",
+                      e.event.describe(), ") was not applicable");
+      return out;
+    }
+    ++out.applied;
+  }
+  run_invokes();
+
+  out.history = proto::collect_history(sim, cluster.clients,
+                                       cluster.initial_values);
+  out.digest_match = sim.digest() == doc.final_digest;
+  out.reexport = make_doc(protocol, doc.scenario, doc.cluster, sim, cluster,
+                          doc.invokes);
+  out.ok = out.digest_match;
+  if (!out.digest_match)
+    out.error = "final configuration digest does not match the document";
+  return out;
+}
+
+DocReplay replay_doc(const TraceDoc& doc) {
+  auto protocol = proto::protocol_by_name(doc.protocol);
+  return replay_doc(doc, *protocol);
+}
+
+// --- capture scenarios -----------------------------------------------------
+
+namespace {
+
+/// Couples a simulation with the invocation log the exporter needs.
+struct Capture {
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster;
+  std::vector<InvokeRecord> invokes;
+
+  void invoke(ProcessId client, const TxSpec& spec) {
+    invokes.push_back({sim.now(), client, spec});
+    sim.process_as<ClientBase>(client).invoke(spec);
+  }
+
+  bool completed(ProcessId client, TxId tx) const {
+    return sim.process_as<const ClientBase>(client).has_completed(tx);
+  }
+
+  void run_until_completed(ProcessId client, TxId tx, std::size_t budget) {
+    sim::run_fair(sim, {},
+                  [&](const sim::Simulation& s) {
+                    return s.process_as<const ClientBase>(client)
+                        .has_completed(tx);
+                  },
+                  budget);
+  }
+};
+
+// Quiescence phases drain propagation; protocols with periodic background
+// gossip (wren) never go idle, so this is a hard cap on drain length rather
+// than a wait.  Propagation in the default 2-server cluster takes tens of
+// events; 1500 leaves a wide margin without bloating artifacts.
+constexpr std::size_t kDrainBudget = 1500;
+
+TxSpec richest_write(Capture& cap, const proto::Protocol& protocol) {
+  return protocol.supports_write_tx()
+             ? cap.ids.write_tx(cap.cluster.view.objects)
+             : cap.ids.write_one(cap.cluster.view.objects[0]);
+}
+
+void scenario_quickread(Capture& cap, const proto::Protocol& protocol) {
+  TxSpec w = richest_write(cap, protocol);
+  cap.invoke(cap.cluster.clients[0], w);
+  sim::run_to_quiescence(cap.sim, {}, kDrainBudget);
+
+  TxSpec rot = cap.ids.read_tx(cap.cluster.view.objects);
+  cap.invoke(cap.cluster.clients[1], rot);
+  cap.run_until_completed(cap.cluster.clients[1], rot.id, 60000);
+}
+
+void scenario_mixed(Capture& cap, const proto::Protocol& protocol) {
+  const auto& objects = cap.cluster.view.objects;
+  for (int round = 0; round < 3; ++round) {
+    TxSpec w = protocol.supports_write_tx()
+                   ? cap.ids.write_tx(objects)
+                   : cap.ids.write_one(objects[round % objects.size()]);
+    cap.invoke(cap.cluster.clients[0], w);
+    TxSpec r1 = cap.ids.read_tx(objects);
+    cap.invoke(cap.cluster.clients[1], r1);
+    cap.run_until_completed(cap.cluster.clients[1], r1.id, 60000);
+    TxSpec r2 = cap.ids.read_tx({objects[0]});
+    cap.invoke(cap.cluster.clients[2], r2);
+    cap.run_until_completed(cap.cluster.clients[2], r2.id, 60000);
+    sim::run_to_quiescence(cap.sim, {}, kDrainBudget);
+  }
+}
+
+void scenario_violation(Capture& cap, const proto::Protocol& protocol) {
+  ProcessId writer = cap.cluster.clients[0];
+  ProcessId reader = cap.cluster.clients[1];
+  const auto& view = cap.cluster.view;
+
+  // Reach the paper's C0: the writer has read the initial values and the
+  // network is idle.
+  TxSpec t_in_r = cap.ids.read_tx(view.objects);
+  cap.invoke(writer, t_in_r);
+  cap.run_until_completed(writer, t_in_r.id, 60000);
+  sim::run_to_quiescence(cap.sim, {}, kDrainBudget);
+
+  // Invoke Tw and let the writer take one step (fanning out its writes),
+  // then deliver ONLY what is destined to the last server.  Against
+  // naivefast the value lands (immediate visibility) while the first
+  // server still serves the initial value.
+  TxSpec tw = richest_write(cap, protocol);
+  cap.invoke(writer, tw);
+  cap.sim.step(writer);
+  ProcessId last = view.servers.back();
+  cap.sim.deliver_between(writer, last);
+  cap.sim.step(last);
+
+  // A reader runs to completion against the half-delivered write; its
+  // participants exclude the writer so nothing else drains.
+  TxSpec rot = cap.ids.read_tx(view.objects);
+  cap.invoke(reader, rot);
+  std::vector<ProcessId> participants{reader};
+  for (auto s : view.servers) participants.push_back(s);
+  sim::run_fair(cap.sim, participants,
+                [&](const sim::Simulation& s) {
+                  return s.process_as<const ClientBase>(reader).has_completed(
+                      rot.id);
+                },
+                20000);
+
+  // Release the rest of the schedule so Tw (and its history record, which
+  // the checker needs) completes where the protocol allows it.
+  sim::run_to_quiescence(cap.sim, {}, kDrainBudget);
+}
+
+}  // namespace
+
+std::vector<std::string> exportable_scenarios() {
+  return {"quickread", "mixed", "violation"};
+}
+
+TraceDoc capture_scenario(const proto::Protocol& protocol,
+                          const std::string& scenario,
+                          const ClusterConfig& cfg) {
+  Capture cap;
+  cap.cluster = protocol.build(cap.sim, cfg, cap.ids);
+  DISCS_CHECK_MSG(cap.cluster.clients.size() >= 3,
+                  "exportable scenarios need at least 3 clients");
+
+  if (scenario == "quickread") {
+    scenario_quickread(cap, protocol);
+  } else if (scenario == "mixed") {
+    scenario_mixed(cap, protocol);
+  } else if (scenario == "violation") {
+    scenario_violation(cap, protocol);
+  } else {
+    DISCS_CHECK_MSG(false, "unknown exportable scenario '"
+                               << scenario << "' (expected "
+                               << join(exportable_scenarios(), " | ") << ")");
+  }
+
+  return make_doc(protocol, scenario, cfg, cap.sim, cap.cluster,
+                  std::move(cap.invokes));
+}
+
+}  // namespace discs::obs

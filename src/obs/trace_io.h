@@ -1,0 +1,139 @@
+// JSONL trace export/import and deterministic re-execution.
+//
+// A recorded execution (sim::Trace) lives inside one process; this module
+// serializes it — together with everything needed to re-derive it — into a
+// line-oriented JSON artifact that can be diffed, inspected offline and
+// replayed on a fresh simulation:
+//
+//   header   protocol name, scenario, ClusterConfig, initial values
+//   invoke   harness invocations (client, TxSpec, virtual time), the one
+//            input to an execution that is not an event
+//   event    one line per trace record (step / deliver) with full message
+//            introspection: payload kind, description, values_carried(),
+//            byte_size()
+//   tx       the recorded transaction history (checker input)
+//   footer   event count + final configuration digest
+//
+// The round-trip guarantee is replay-based and byte-exact: import a file,
+// rebuild the cluster from the header (Protocol::build is deterministic,
+// IdSource re-mints the same initial values), re-apply invocations and
+// events, and the replayed simulation re-exports to the identical bytes —
+// same messages, same history, same final digest.  docs/TRACING.md
+// documents the schema and its versioning policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "history/history.h"
+#include "proto/common/cluster.h"
+#include "proto/common/tx.h"
+#include "sim/simulation.h"
+
+namespace discs::obs {
+
+/// Schema identifier written into every header record.  Bump the suffix on
+/// any incompatible change; importers reject unknown schemas.
+inline constexpr std::string_view kTraceSchema = "discs.trace.v1";
+
+/// Everything the exporter records about one message: identity plus the
+/// introspection surface the property monitors use.
+struct ExportedMessage {
+  MsgId id;
+  ProcessId src;
+  ProcessId dst;
+  std::string kind;  ///< Payload::kind(), e.g. "RotRequest" / "Batch"
+  std::string desc;  ///< Payload::describe()
+  std::vector<ValueId> values;  ///< Payload::values_carried()
+  std::uint64_t bytes = 0;      ///< Payload::byte_size()
+
+  static ExportedMessage from(const sim::Message& m);
+
+  friend bool operator==(const ExportedMessage&,
+                         const ExportedMessage&) = default;
+};
+
+/// One trace record: the bare event (replayable) plus message metadata.
+struct ExportedEvent {
+  sim::Event event;
+  std::uint64_t seq = 0;
+  std::vector<ExportedMessage> consumed;       ///< kStep only
+  std::vector<ExportedMessage> sent;           ///< kStep only
+  std::optional<ExportedMessage> delivered;    ///< kDeliver only
+};
+
+/// A harness invocation: client `client` was handed `spec` when the
+/// simulation clock read `at` (i.e. before the event with seq == at).
+struct InvokeRecord {
+  std::uint64_t at = 0;
+  ProcessId client;
+  proto::TxSpec spec;
+};
+
+/// An execution as an artifact: the parsed/parseable form of one JSONL file.
+struct TraceDoc {
+  std::string schema{kTraceSchema};
+  std::string protocol;
+  std::string scenario;
+  proto::ClusterConfig cluster;
+  std::map<ObjectId, ValueId> initial;
+  std::vector<InvokeRecord> invokes;
+  std::vector<ExportedEvent> events;
+  hist::History history;
+  std::string final_digest;
+};
+
+/// Snapshots a live run into a TraceDoc (no side effects on `sim`).
+TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
+                  const proto::ClusterConfig& cfg, const sim::Simulation& sim,
+                  const proto::Cluster& cluster,
+                  std::vector<InvokeRecord> invokes);
+
+/// Serializes to JSONL (one JSON object per line, deterministic bytes).
+std::string export_jsonl(const TraceDoc& doc);
+
+/// Strict parser; throws CheckFailure on malformed input or an unknown
+/// schema version.
+TraceDoc import_jsonl(std::string_view text);
+
+/// Result of re-executing an imported document on a fresh simulation.
+struct DocReplay {
+  bool ok = false;           ///< every invoke + event applied cleanly
+  std::string error;
+  std::size_t applied = 0;   ///< events applied
+  bool digest_match = false; ///< replayed final digest == doc.final_digest
+  hist::History history;     ///< history collected from the replayed run
+  /// The replayed execution re-captured as a document; byte-exact round
+  /// trip means export_jsonl(reexport) == export_jsonl(doc).
+  TraceDoc reexport;
+};
+
+/// Rebuilds the cluster described by `doc` with `protocol` (whose name()
+/// must match doc.protocol) and re-applies the recorded invocations and
+/// events.
+DocReplay replay_doc(const TraceDoc& doc, const proto::Protocol& protocol);
+
+/// As above, resolving the protocol from doc.protocol via the registry.
+DocReplay replay_doc(const TraceDoc& doc);
+
+// --- capture scenarios -----------------------------------------------------
+
+/// Runs a named exportable scenario against `protocol` and captures it:
+///   quickread  one (multi-)write then one read-only transaction
+///   mixed      interleaved writes and reads across three clients
+///   violation  adversarial partial delivery: writes reach only the last
+///              server before a reader runs (exhibits naivefast's causal
+///              violation; correct protocols survive it)
+/// Throws CheckFailure for unknown scenario names.
+TraceDoc capture_scenario(const proto::Protocol& protocol,
+                          const std::string& scenario,
+                          const proto::ClusterConfig& cfg);
+
+/// Names accepted by capture_scenario.
+std::vector<std::string> exportable_scenarios();
+
+}  // namespace discs::obs

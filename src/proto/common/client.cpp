@@ -1,7 +1,9 @@
 #include "proto/common/client.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "obs/registry.h"
 #include "util/check.h"
 #include "util/fmt.h"
 
@@ -25,7 +27,10 @@ void ClientBase::invoke(const TxSpec& spec) {
                   "transactions (the W property)");
   active_ = spec;
   started_ = false;
+  max_rot_round_ = 0;
   read_results_.clear();
+  obs::Registry::global().inc(spec.read_only() ? "client.invoke.read"
+                                               : "client.invoke.write");
 }
 
 std::map<ObjectId, ValueId> ClientBase::result_of(TxId tx) const {
@@ -50,6 +55,14 @@ void ClientBase::on_step(sim::StepContext& ctx,
     start_tx(ctx, *active_);
   } else if (!active_) {
     on_idle_step(ctx);
+  }
+
+  // Observe protocol round structure: the highest RotRequest round this
+  // client has issued for the active transaction (flushed to the registry
+  // as client.rot.rounds when the transaction completes).
+  for (const auto& [dst, payload] : ctx.outgoing()) {
+    if (const auto* req = dynamic_cast<const RotRequest*>(payload.get()))
+      max_rot_round_ = std::max(max_rot_round_, req->round);
   }
 }
 
@@ -94,9 +107,19 @@ void ClientBase::complete_active(sim::StepContext& ctx) {
     rec.writes.push_back({obj, v, /*acked=*/true});
   history_.add(std::move(rec));
 
+  auto& reg = obs::Registry::global();
+  reg.inc("client.tx.completed");
+  if (active_->read_only()) {
+    reg.inc("client.rot.completed");
+    if (max_rot_round_ > 0)
+      reg.inc("client.rot.rounds",
+              static_cast<std::uint64_t>(max_rot_round_));
+  }
+
   completed_[active_->id] = read_results_;
   active_.reset();
   started_ = false;
+  max_rot_round_ = 0;
   read_results_.clear();
 }
 

@@ -71,6 +71,7 @@ class ClientBase : public sim::Process {
   std::optional<TxSpec> active_;
   bool started_ = false;
   std::uint64_t invoke_seq_ = 0;
+  int max_rot_round_ = 0;  ///< highest RotRequest round sent for active tx
   std::map<ObjectId, ValueId> read_results_;
   std::map<TxId, std::map<ObjectId, ValueId>> completed_;
   hist::History history_;

@@ -65,6 +65,7 @@ struct RotRequest : Payload {
   std::map<ObjectId, HlcTimestamp> at_least;
 
   std::string describe() const override;
+  std::string_view kind() const override { return "RotRequest"; }
   std::size_t byte_size() const override;
 };
 
@@ -77,6 +78,7 @@ struct RotReply : Payload {
   std::vector<PendingInfo> pendings;
 
   std::string describe() const override;
+  std::string_view kind() const override { return "RotReply"; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
 };
@@ -85,6 +87,7 @@ struct RotReply : Payload {
 struct SnapshotRequest : Payload {
   TxId tx;
   std::string describe() const override;
+  std::string_view kind() const override { return "SnapshotRequest"; }
 };
 
 /// Server -> client: the snapshot timestamp.  Carries no values.
@@ -92,6 +95,7 @@ struct SnapshotReply : Payload {
   TxId tx;
   HlcTimestamp snapshot;
   std::string describe() const override;
+  std::string_view kind() const override { return "SnapshotReply"; }
 };
 
 /// Client -> server: direct write (non-2PC protocols).
@@ -105,6 +109,7 @@ struct WriteRequest : Payload {
   HlcTimestamp client_ts{};
 
   std::string describe() const override;
+  std::string_view kind() const override { return "WriteRequest"; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
 };
@@ -115,6 +120,7 @@ struct WriteReply : Payload {
   bool ok = true;
   HlcTimestamp ts{};
   std::string describe() const override;
+  std::string_view kind() const override { return "WriteReply"; }
 };
 
 /// Two-phase commit: prepare (client- or server-coordinated).
@@ -126,6 +132,7 @@ struct Prepare : Payload {
   HlcTimestamp client_ts{};
 
   std::string describe() const override;
+  std::string_view kind() const override { return "Prepare"; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
 };
@@ -134,18 +141,21 @@ struct PrepareAck : Payload {
   TxId tx;
   HlcTimestamp proposed;
   std::string describe() const override;
+  std::string_view kind() const override { return "PrepareAck"; }
 };
 
 struct Commit : Payload {
   TxId tx;
   HlcTimestamp commit_ts;
   std::string describe() const override;
+  std::string_view kind() const override { return "Commit"; }
 };
 
 struct CommitAck : Payload {
   TxId tx;
   HlcTimestamp commit_ts;
   std::string describe() const override;
+  std::string_view kind() const override { return "CommitAck"; }
 };
 
 /// Server -> server: periodic stabilization gossip (Wren / GentleRain).
@@ -154,6 +164,7 @@ struct Gossip : Payload {
   HlcTimestamp stable;
   std::uint64_t round = 0;
   std::string describe() const override;
+  std::string_view kind() const override { return "Gossip"; }
 };
 
 /// COPS-SNOW: writer's server asks a dependency's server which read-only
@@ -165,6 +176,7 @@ struct OldReaderQuery : Payload {
   TxId wtx;
   std::vector<std::pair<ObjectId, HlcTimestamp>> deps;
   std::string describe() const override;
+  std::string_view kind() const override { return "OldReaderQuery"; }
   std::size_t byte_size() const override;
 };
 
@@ -172,6 +184,7 @@ struct OldReaderReply : Payload {
   TxId wtx;
   std::vector<TxId> old_readers;
   std::string describe() const override;
+  std::string_view kind() const override { return "OldReaderReply"; }
   std::size_t byte_size() const override;
 };
 
@@ -180,6 +193,7 @@ struct TxStatusQuery : Payload {
   TxId reader;
   TxId wtx;
   std::string describe() const override;
+  std::string_view kind() const override { return "TxStatusQuery"; }
 };
 
 struct TxStatusReply : Payload {
@@ -188,6 +202,7 @@ struct TxStatusReply : Payload {
   bool committed = false;
   HlcTimestamp commit_ts{};
   std::string describe() const override;
+  std::string_view kind() const override { return "TxStatusReply"; }
 };
 
 }  // namespace discs::proto

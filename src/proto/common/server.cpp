@@ -1,8 +1,22 @@
 #include "proto/common/server.h"
 
+#include "obs/registry.h"
 #include "util/check.h"
 
 namespace discs::proto {
+
+namespace {
+
+// Per-payload-kind receive counter; the scratch key is thread-local so the
+// per-message cost after warm-up is one map lookup, no allocation.
+void count_recv(const sim::Payload& payload) {
+  static thread_local std::string key;
+  key.assign("server.recv.");
+  key.append(payload.kind());
+  obs::Registry::global().inc(key);
+}
+
+}  // namespace
 
 ServerBase::ServerBase(ProcessId id, ClusterView view,
                        std::vector<ObjectId> stored)
@@ -30,6 +44,7 @@ void ServerBase::on_step(sim::StepContext& ctx,
                          const std::vector<sim::Message>& inbox) {
   for (const auto& m : inbox) {
     for (const auto& part : sim::payload_parts(m)) {
+      count_recv(*part);
       sim::Message sub = m;
       sub.payload = part;
       on_message(ctx, sub);

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/ids.h"
@@ -31,6 +32,12 @@ class Payload {
 
   /// Human-readable one-line description, used in execution diagrams.
   virtual std::string describe() const = 0;
+
+  /// Stable machine-readable payload kind (e.g. "RotRequest"), used by the
+  /// trace exporter's `kind` field, the trace_explorer filters and the
+  /// per-kind counters in obs::Registry.  Must return a string-literal-
+  /// backed view; docs/TRACING.md documents the vocabulary.
+  virtual std::string_view kind() const { return "Payload"; }
 
   /// The written values (by any write transaction) that this message makes
   /// known to its receiver.  The one-value monitor inspects this on
@@ -74,6 +81,7 @@ class BatchPayload : public Payload {
   }
 
   std::string describe() const override;
+  std::string_view kind() const override { return "Batch"; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
 

@@ -2,9 +2,39 @@
 
 #include <sstream>
 
+#include "obs/registry.h"
 #include "util/fmt.h"
 
 namespace discs::sim {
+
+namespace {
+
+// Counter references are cached per thread: Registry nodes are stable, so
+// the hot path pays one map lookup per thread lifetime, not per event.
+std::uint64_t& counter_steps() {
+  static thread_local std::uint64_t& c =
+      obs::Registry::global().counter("sim.steps");
+  return c;
+}
+std::uint64_t& counter_deliveries() {
+  static thread_local std::uint64_t& c =
+      obs::Registry::global().counter("sim.deliveries");
+  return c;
+}
+std::uint64_t& counter_sent() {
+  static thread_local std::uint64_t& c =
+      obs::Registry::global().counter("sim.messages_sent");
+  return c;
+}
+
+void count_sent_kind(const Payload& payload) {
+  static thread_local std::string key;  // reused capacity: no allocation
+  key.assign("sim.sent.");
+  key.append(payload.kind());
+  obs::Registry::global().inc(key);
+}
+
+}  // namespace
 
 Simulation::Simulation(const Simulation& other)
     : send_seq_(other.send_seq_),
@@ -13,6 +43,8 @@ Simulation::Simulation(const Simulation& other)
       now_(other.now_) {
   procs_.reserve(other.procs_.size());
   for (const auto& p : other.procs_) procs_.push_back(p->clone());
+  obs::Registry::global().inc("sim.snapshots");
+  obs::Registry::global().inc("sim.snapshot.procs_copied", procs_.size());
 }
 
 Simulation& Simulation::operator=(const Simulation& other) {
@@ -79,10 +111,13 @@ void Simulation::step(ProcessId p) {
     m.payload = grouped[i].size() == 1
                     ? grouped[i].front()
                     : std::make_shared<const BatchPayload>(grouped[i]);
+    counter_sent() += 1;
+    count_sent_kind(*m.payload);
     rec.sent.push_back(m);
     net_.post(std::move(m));
   }
 
+  counter_steps() += 1;
   trace_.record(std::move(rec));
   ++now_;
 }
@@ -96,6 +131,7 @@ bool Simulation::deliver(MsgId id) {
   EventRecord rec;
   rec.event = Event::deliver(id);
   rec.delivered = *found;
+  counter_deliveries() += 1;
   trace_.record(std::move(rec));
   ++now_;
   return true;

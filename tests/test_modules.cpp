@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 
 #include "metrics/metrics.h"
@@ -26,10 +27,12 @@ TEST(Metrics, SummaryStatistics) {
 }
 
 TEST(Metrics, EmptySummaryIsSafe) {
+  // Empty statistics are NaN, not 0: a zero is a measurement that was
+  // never taken.
   metrics::Summary s;
   EXPECT_EQ(s.count(), 0u);
-  EXPECT_DOUBLE_EQ(s.mean(), 0);
-  EXPECT_DOUBLE_EQ(s.p50(), 0);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.p50()));
   EXPECT_FALSE(s.str().empty());
 }
 

@@ -1,0 +1,259 @@
+// Tests for the observability layer: JSON round-trips, the counter
+// registry, and the trace export/import/replay guarantee.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "consistency/checkers.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/trace_io.h"
+#include "proto/registry.h"
+
+namespace discs {
+namespace {
+
+using obs::Json;
+using obs::JsonArray;
+using obs::JsonObject;
+
+// --- Json -----------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json::parse("null").dump(), "null");
+  EXPECT_EQ(Json::parse("true").dump(), "true");
+  EXPECT_EQ(Json::parse("false").dump(), "false");
+  EXPECT_EQ(Json::parse("0").dump(), "0");
+  EXPECT_EQ(Json::parse("\"hi\"").dump(), "\"hi\"");
+  EXPECT_EQ(Json::parse("-2.5").dump(), "-2.5");
+}
+
+TEST(Json, Uint64RoundTripsExactly) {
+  // Message ids pack (sender << 40) | seq; a double would corrupt them.
+  std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  Json j(big);
+  EXPECT_TRUE(j.is_uint());
+  Json back = Json::parse(j.dump());
+  EXPECT_TRUE(back.is_uint());
+  EXPECT_EQ(back.as_uint(), big);
+
+  std::uint64_t msgid = (std::uint64_t(0xABCDE) << 40) | 0x123456789A;
+  EXPECT_EQ(Json::parse(Json(msgid).dump()).as_uint(), msgid);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  JsonObject o;
+  o.emplace_back("zebra", Json(1));
+  o.emplace_back("apple", Json(2));
+  Json j{o};
+  EXPECT_EQ(j.dump(), "{\"zebra\":1,\"apple\":2}");
+  // ...and the parser keeps that order, so dump(parse(x)) == x.
+  EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+}
+
+TEST(Json, StringEscapes) {
+  Json j(std::string("a\"b\\c\n\t\x01"));
+  Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.as_string(), "a\"b\\c\n\t\x01");
+}
+
+TEST(Json, NestedStructures) {
+  const char* text =
+      "{\"a\":[1,2,{\"b\":null}],\"c\":{\"d\":true,\"e\":\"f\"}}";
+  Json j = Json::parse(text);
+  EXPECT_EQ(j.dump(), text);
+  EXPECT_EQ(j.get("a").as_array().size(), 3u);
+  EXPECT_TRUE(j.get("a").as_array()[2].get("b").is_null());
+  EXPECT_TRUE(j.get("c").get("d").as_bool());
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_THROW(j.get("missing"), CheckFailure);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), CheckFailure);
+  EXPECT_THROW(Json::parse("{"), CheckFailure);
+  EXPECT_THROW(Json::parse("[1,]"), CheckFailure);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), CheckFailure);
+  EXPECT_THROW(Json::parse("nul"), CheckFailure);
+  EXPECT_THROW(Json::parse("1 2"), CheckFailure);  // trailing garbage
+  EXPECT_THROW(Json::parse("\"unterminated"), CheckFailure);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  Json j(std::uint64_t{7});
+  EXPECT_THROW(j.as_string(), CheckFailure);
+  EXPECT_THROW(j.as_array(), CheckFailure);
+  EXPECT_NO_THROW(j.as_double());  // numeric widening is allowed
+  EXPECT_DOUBLE_EQ(j.as_double(), 7.0);
+}
+
+// --- Registry -------------------------------------------------------------
+
+TEST(Registry, CountersStartAtZeroAndAccumulate) {
+  obs::Registry reg;
+  EXPECT_EQ(reg.value("x"), 0u);
+  reg.inc("x");
+  reg.inc("x", 4);
+  EXPECT_EQ(reg.value("x"), 5u);
+}
+
+TEST(Registry, CounterReferencesSurviveResetAndInsertions) {
+  obs::Registry reg;
+  std::uint64_t& c = reg.counter("stable");
+  c = 10;
+  for (int i = 0; i < 100; ++i) reg.counter("other." + std::to_string(i));
+  EXPECT_EQ(reg.value("stable"), 10u);
+  reg.reset();
+  EXPECT_EQ(reg.value("stable"), 0u);
+  c = 3;  // the reference must still point at the live node
+  EXPECT_EQ(reg.value("stable"), 3u);
+}
+
+TEST(Registry, GaugesAndPrefixes) {
+  obs::Registry reg;
+  reg.set_gauge("g.a", 1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g.a"), 1.5);
+  EXPECT_TRUE(std::isnan(reg.gauge("never.set")));
+  reg.inc("a.one");
+  reg.inc("a.two");
+  reg.inc("b.one");
+  EXPECT_EQ(reg.counters("a.").size(), 2u);
+  EXPECT_EQ(reg.counters().size(), 3u);
+  EXPECT_NE(reg.table("a.").find("a.one"), std::string::npos);
+  EXPECT_EQ(reg.table("a.").find("b.one"), std::string::npos);
+}
+
+TEST(Registry, DeltaAttributesGrowth) {
+  obs::Registry reg;
+  reg.inc("x", 10);
+  obs::CounterDelta d(reg);
+  reg.inc("x", 5);
+  reg.inc("y", 2);
+  auto delta = d.delta();
+  EXPECT_EQ(delta.at("x"), 5u);
+  EXPECT_EQ(delta.at("y"), 2u);
+  EXPECT_EQ(delta.count("z"), 0u);
+}
+
+TEST(Registry, SimulationRunsPopulateGlobalRegistry) {
+  auto& reg = obs::Registry::global();
+  reg.reset();
+  auto protocol = proto::protocol_by_name("cops-snow");
+  proto::ClusterConfig cfg;
+  obs::capture_scenario(*protocol, "quickread", cfg);
+  EXPECT_GT(reg.value("sim.steps"), 0u);
+  EXPECT_GT(reg.value("sim.deliveries"), 0u);
+  EXPECT_GT(reg.value("sim.messages_sent"), 0u);
+  EXPECT_EQ(reg.value("client.rot.completed"), 1u);
+  EXPECT_GE(reg.value("client.rot.rounds"), 1u);
+  EXPECT_GT(reg.value("server.recv.RotRequest"), 0u);
+  reg.reset();
+}
+
+// --- Trace export / import / replay ---------------------------------------
+
+struct RoundTripCase {
+  const char* protocol;
+  const char* scenario;
+};
+
+class TraceRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(TraceRoundTrip, ExportImportReplayIsByteExact) {
+  auto [proto_name, scenario] = GetParam();
+  auto protocol = proto::protocol_by_name(proto_name);
+  proto::ClusterConfig cfg;
+  cfg.num_servers = 2;
+  cfg.num_clients = 5;
+  cfg.num_objects = 2;
+
+  obs::TraceDoc doc = obs::capture_scenario(*protocol, scenario, cfg);
+  std::string bytes = obs::export_jsonl(doc);
+
+  // Import parses back to an equivalent document...
+  obs::TraceDoc imported = obs::import_jsonl(bytes);
+  EXPECT_EQ(imported.protocol, proto_name);
+  EXPECT_EQ(imported.scenario, scenario);
+  EXPECT_EQ(imported.events.size(), doc.events.size());
+  EXPECT_EQ(obs::export_jsonl(imported), bytes);
+
+  // ...and replay on a fresh simulation reproduces the execution exactly:
+  // every event applies, the final configuration digest matches, and the
+  // re-exported artifact is byte-identical.
+  obs::DocReplay replay = obs::replay_doc(imported);
+  ASSERT_TRUE(replay.ok) << replay.error;
+  EXPECT_EQ(replay.applied, doc.events.size());
+  EXPECT_TRUE(replay.digest_match);
+  EXPECT_EQ(obs::export_jsonl(replay.reexport), bytes);
+
+  // The replayed history is the recorded history: same checker verdicts.
+  auto orig = cons::check_causal_consistency(doc.history);
+  auto replayed = cons::check_causal_consistency(replay.history);
+  EXPECT_EQ(orig.ok(), replayed.ok());
+  EXPECT_EQ(replay.history.txs().size(), doc.history.txs().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, TraceRoundTrip,
+    ::testing::Values(RoundTripCase{"cops-snow", "quickread"},
+                      RoundTripCase{"cops-snow", "violation"},
+                      RoundTripCase{"wren", "mixed"},
+                      RoundTripCase{"wren", "quickread"},
+                      RoundTripCase{"naivefast", "quickread"},
+                      RoundTripCase{"naivefast", "violation"}),
+    [](const auto& info) {
+      std::string name =
+          std::string(info.param.protocol) + "_" + info.param.scenario;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(TraceIo, NaivefastViolationSurvivesTheRoundTrip) {
+  // The flagship artifact: naivefast's causal violation must be visible to
+  // the checker in the IMPORTED history, not just the live one.
+  auto protocol = proto::protocol_by_name("naivefast");
+  proto::ClusterConfig cfg;
+  obs::TraceDoc doc = obs::capture_scenario(*protocol, "violation", cfg);
+  obs::TraceDoc imported = obs::import_jsonl(obs::export_jsonl(doc));
+  auto check = cons::check_causal_consistency(imported.history);
+  ASSERT_FALSE(check.ok());
+  bool intervening = false;
+  for (const auto& v : check.violations)
+    intervening |= (v.kind == "intervening-write");
+  EXPECT_TRUE(intervening) << check.summary();
+
+  // A correct protocol survives the same adversarial schedule.
+  auto good = proto::protocol_by_name("cops-snow");
+  obs::TraceDoc gdoc = obs::capture_scenario(*good, "violation", cfg);
+  EXPECT_TRUE(cons::check_causal_consistency(gdoc.history).ok());
+}
+
+TEST(TraceIo, ImportRejectsCorruptInput) {
+  EXPECT_THROW(obs::import_jsonl(""), CheckFailure);
+  EXPECT_THROW(obs::import_jsonl("{\"record\":\"header\"}"), CheckFailure);
+  EXPECT_THROW(obs::import_jsonl("not json at all"), CheckFailure);
+
+  // A valid file with a tampered schema version must be rejected.
+  auto protocol = proto::protocol_by_name("naivefast");
+  proto::ClusterConfig cfg;
+  std::string bytes =
+      obs::export_jsonl(obs::capture_scenario(*protocol, "quickread", cfg));
+  std::string tampered = bytes;
+  auto pos = tampered.find("discs.trace.v1");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 14, "discs.trace.v9");
+  EXPECT_THROW(obs::import_jsonl(tampered), CheckFailure);
+}
+
+TEST(TraceIo, UnknownScenarioThrows) {
+  auto protocol = proto::protocol_by_name("naivefast");
+  proto::ClusterConfig cfg;
+  EXPECT_THROW(obs::capture_scenario(*protocol, "no-such-scenario", cfg),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
+#include "metrics/metrics.h"
 #include "util/check.h"
 #include "util/fmt.h"
 #include "util/ids.h"
@@ -119,6 +121,44 @@ TEST(Fmt, PadAndFixed) {
   EXPECT_EQ(pad("ab", 4), "ab  ");
   EXPECT_EQ(pad("abcd", 2), "abcd");
   EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+TEST(MetricsSummary, EmptyStatisticsAreNaN) {
+  metrics::Summary s;
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isnan(s.percentile(0.0)));
+  EXPECT_TRUE(std::isnan(s.percentile(0.5)));
+  EXPECT_TRUE(std::isnan(s.percentile(1.0)));
+  EXPECT_TRUE(std::isnan(s.p50()));
+  EXPECT_TRUE(std::isnan(s.p95()));
+  EXPECT_TRUE(std::isnan(s.p99()));
+}
+
+TEST(MetricsSummary, SingleSampleIsEveryStatistic) {
+  metrics::Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 42.0);
+}
+
+TEST(MetricsSummary, PercentileClampsOutOfRangeQuantiles) {
+  metrics::Summary s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.5), 3.0);
+}
+
+TEST(MetricsSummary, EmptyStrDoesNotThrow) {
+  metrics::Summary s;
+  EXPECT_NO_THROW({ auto str = s.str(); });
+  EXPECT_NE(s.str().find("n=0"), std::string::npos);
 }
 
 }  // namespace
