@@ -1,9 +1,28 @@
 // Simulator substrate throughput (google-benchmark): event application
-// rate, configuration snapshot cost, and workload end-to-end rate per
-// protocol.  These bound how much adversarial exploration (fuzz seeds,
+// rate, configuration snapshot/branch cost, digest memoization, and store
+// lookup cost.  These bound how much adversarial exploration (fuzz seeds,
 // induction steps) a given time budget buys.
+//
+// Snapshots are copy-on-write, so their cost is O(processes), independent
+// of history length; BM_SnapshotDeepDiverge forces full divergence (every
+// process cloned, trace forked) to expose the old deep-copy cost for
+// comparison — the Snapshot/SnapshotDeepDiverge ratio at large histories
+// is the COW win.
+//
+// Custom main:
+//   --smoke        tiny min_time per benchmark (CI wiring check)
+//   --out=PATH     JSON results path (default BENCH_sim.json)
+// plus all standard --benchmark_* flags.  Exits nonzero if benchmark
+// registration fails or zero benchmarks run.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "clock/clocks.h"
+#include "kv/store.h"
 #include "proto/common/client.h"
 #include "proto/registry.h"
 #include "sim/schedule.h"
@@ -14,18 +33,44 @@ using proto::ClientBase;
 
 namespace {
 
+constexpr std::size_t kServers = 4;
+constexpr std::size_t kClients = 6;
+constexpr std::size_t kObjects = 8;
+
+proto::ClusterConfig cluster_config() {
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = kServers;
+  ccfg.num_clients = kClients;
+  ccfg.num_objects = kObjects;
+  return ccfg;
+}
+
+/// A simulation that has already executed `num_txs` transactions, so its
+/// trace/stores/histories carry a long prefix.
+struct WarmSim {
+  sim::Simulation sim;
+  proto::IdSource ids;
+  proto::Cluster cluster;
+};
+
+WarmSim build_warm(const std::string& proto_name, std::size_t num_txs) {
+  WarmSim w;
+  auto protocol = proto::protocol_by_name(proto_name);
+  w.cluster = protocol->build(w.sim, cluster_config(), w.ids);
+  wl::WorkloadConfig wcfg;
+  wcfg.num_txs = num_txs;
+  wcfg.seed = 9;
+  wl::run_workload_sequential(w.sim, *protocol, w.cluster, w.ids, wcfg);
+  return w;
+}
+
 void BM_WorkloadEvents(benchmark::State& state, const std::string& name) {
   auto protocol = proto::protocol_by_name(name);
-  proto::ClusterConfig ccfg;
-  ccfg.num_servers = 4;
-  ccfg.num_clients = 6;
-  ccfg.num_objects = 8;
-
   std::size_t events = 0;
   for (auto _ : state) {
     sim::Simulation sim;
     proto::IdSource ids;
-    proto::Cluster cluster = protocol->build(sim, ccfg, ids);
+    proto::Cluster cluster = protocol->build(sim, cluster_config(), ids);
     wl::WorkloadConfig wcfg;
     wcfg.num_txs = 50;
     wcfg.seed = 9;
@@ -38,25 +83,92 @@ void BM_WorkloadEvents(benchmark::State& state, const std::string& name) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 
+/// Pure snapshot: O(processes) regardless of how long the history is.
 void BM_Snapshot(benchmark::State& state) {
-  auto protocol = proto::protocol_by_name("wren");
-  proto::ClusterConfig ccfg;
-  ccfg.num_servers = 4;
-  ccfg.num_clients = 6;
-  ccfg.num_objects = 8;
-  sim::Simulation sim;
-  proto::IdSource ids;
-  proto::Cluster cluster = protocol->build(sim, ccfg, ids);
-  wl::WorkloadConfig wcfg;
-  wcfg.num_txs = static_cast<std::size_t>(state.range(0));
-  wl::run_workload_sequential(sim, *protocol, cluster, ids, wcfg);
-
+  WarmSim w = build_warm("wren", static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    sim::Simulation copy = sim;
+    sim::Simulation copy = w.sim;
     benchmark::DoNotOptimize(copy.now());
   }
+  state.counters["trace_events"] =
+      static_cast<double>(w.sim.trace().size());
 }
-BENCHMARK(BM_Snapshot)->Arg(10)->Arg(50)->Arg(200);
+
+/// Snapshot + the divergence a typical proof branch pays: one transaction
+/// driven to completion on the copy.  Cost is O(divergence), i.e. the
+/// handful of processes and events the branch touches.
+void BM_SnapshotBranchTx(benchmark::State& state) {
+  WarmSim w = build_warm("wren", static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sim::Simulation copy = w.sim;
+    auto spec = w.ids.read_tx(w.cluster.view.objects);
+    copy.process_as<ClientBase>(w.cluster.clients[0]).invoke(spec);
+    sim::run_fair(copy, {},
+                  [&](const sim::Simulation& s) {
+                    return s.process_as<const ClientBase>(
+                                w.cluster.clients[0])
+                        .has_completed(spec.id);
+                  },
+                  10000);
+    benchmark::DoNotOptimize(copy.now());
+  }
+  state.counters["trace_events"] =
+      static_cast<double>(w.sim.trace().size());
+}
+
+/// Snapshot + forced full divergence: every process cloned and the shared
+/// trace prefix forked.  This is what every snapshot cost before COW.
+void BM_SnapshotDeepDiverge(benchmark::State& state) {
+  WarmSim w = build_warm("wren", static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sim::Simulation copy = w.sim;
+    for (std::size_t p = 0; p < copy.process_count(); ++p)
+      benchmark::DoNotOptimize(&copy.process(ProcessId(p)));
+    copy.step(w.cluster.clients[0]);  // forks the trace prefix
+    benchmark::DoNotOptimize(copy.now());
+  }
+  state.counters["trace_events"] =
+      static_cast<double>(w.sim.trace().size());
+}
+
+/// Digest of an untouched configuration: served from the per-process memo.
+void BM_DigestMemoized(benchmark::State& state) {
+  WarmSim w = build_warm("wren", 100);
+  std::string d = w.sim.digest();  // warm the memo
+  for (auto _ : state) {
+    std::string again = w.sim.digest();
+    benchmark::DoNotOptimize(again);
+  }
+}
+
+/// Digest after touching one process: exactly one re-serialization.
+void BM_DigestOneTouched(benchmark::State& state) {
+  WarmSim w = build_warm("wren", 100);
+  w.sim.digest();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&w.sim.process(w.cluster.clients[0]));
+    std::string d = w.sim.digest();
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+/// latest_visible_at on a long ts-sorted chain: binary search, not a scan.
+void BM_KvLatestVisibleAt(benchmark::State& state) {
+  kv::VersionedStore store;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  ObjectId obj(1);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    kv::Version v;
+    v.value = ValueId(i + 1);
+    v.ts = {i + 1, 0};
+    store.put(obj, std::move(v));
+  }
+  clk::HlcTimestamp mid{n / 2, 0};
+  for (auto _ : state) {
+    const kv::Version* v = store.latest_visible_at(obj, mid);
+    benchmark::DoNotOptimize(v);
+  }
+}
 
 void BM_FairSchedulerSteps(benchmark::State& state) {
   auto protocol = proto::protocol_by_name("cops-snow");
@@ -81,12 +193,89 @@ void BM_FairSchedulerSteps(benchmark::State& state) {
     benchmark::DoNotOptimize(sim.now());
   }
 }
-BENCHMARK(BM_FairSchedulerSteps);
+
+/// Dynamic registration so a bad protocol name or a throwing constructor
+/// surfaces as a nonzero exit, not a silently missing benchmark.
+bool register_benchmarks(bool smoke) {
+  try {
+    for (const char* name :
+         {"naivefast", "cops-snow", "wren", "eiger", "spanner"}) {
+      proto::protocol_by_name(name);  // validate before registering
+      std::string label = std::string("BM_WorkloadEvents/") + name;
+      benchmark::RegisterBenchmark(label.c_str(), BM_WorkloadEvents,
+                                   std::string(name));
+    }
+    // History sizes: 50 txs ≈ hundreds of events, 1600 txs ≥ 10k events
+    // (the trace_events counter reports the measured length).
+    const std::vector<std::int64_t> txs =
+        smoke ? std::vector<std::int64_t>{50}
+              : std::vector<std::int64_t>{50, 200, 800, 1600};
+    for (auto n : txs) {
+      benchmark::RegisterBenchmark("BM_Snapshot", BM_Snapshot)->Arg(n);
+      benchmark::RegisterBenchmark("BM_SnapshotBranchTx", BM_SnapshotBranchTx)
+          ->Arg(n);
+      benchmark::RegisterBenchmark("BM_SnapshotDeepDiverge",
+                                   BM_SnapshotDeepDiverge)
+          ->Arg(n);
+    }
+    benchmark::RegisterBenchmark("BM_DigestMemoized", BM_DigestMemoized);
+    benchmark::RegisterBenchmark("BM_DigestOneTouched", BM_DigestOneTouched);
+    for (auto n : {1000, 100000})
+      benchmark::RegisterBenchmark("BM_KvLatestVisibleAt",
+                                   BM_KvLatestVisibleAt)
+          ->Arg(n);
+    benchmark::RegisterBenchmark("BM_FairSchedulerSteps",
+                                 BM_FairSchedulerSteps);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_sim: benchmark registration failed: " << e.what()
+              << "\n";
+    return false;
+  }
+  return true;
+}
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_WorkloadEvents, naivefast, std::string("naivefast"));
-BENCHMARK_CAPTURE(BM_WorkloadEvents, cops_snow, std::string("cops-snow"));
-BENCHMARK_CAPTURE(BM_WorkloadEvents, wren, std::string("wren"));
-BENCHMARK_CAPTURE(BM_WorkloadEvents, eiger, std::string("eiger"));
-BENCHMARK_CAPTURE(BM_WorkloadEvents, spanner, std::string("spanner"));
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sim.json";
+  bool smoke = false;
+  std::vector<char*> args;
+  std::string min_time_flag;
+  for (int i = 0; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    if (a.rfind("--out=", 0) == 0) {
+      out_path = std::string(a.substr(6));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (smoke) {
+    min_time_flag = "--benchmark_min_time=0.01";
+    args.push_back(min_time_flag.data());
+  }
+  // Route the JSON through the library's own file reporter.
+  std::string out_flag = "--benchmark_out=" + out_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+
+  if (!register_benchmarks(smoke)) return 1;
+
+  int argn = static_cast<int>(args.size());
+  benchmark::Initialize(&argn, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
+
+  std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (ran == 0) {
+    std::cerr << "bench_sim: no benchmarks ran\n";
+    return 1;
+  }
+  std::cerr << "bench_sim: wrote " << out_path << " (" << ran
+            << " benchmarks)\n";
+  return 0;
+}

@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "util/cow.h"
 #include "util/ids.h"
 
 namespace discs::hist {
@@ -83,7 +85,7 @@ class History {
   std::optional<ValueId> initial_of(ObjectId obj) const;
 
   void add(TxRecord tx);
-  const std::vector<TxRecord>& txs() const { return txs_; }
+  std::span<const TxRecord> txs() const { return txs_.view(); }
   std::size_t size() const { return txs_.size(); }
   const TxRecord& at(std::size_t i) const { return txs_[i]; }
 
@@ -106,7 +108,9 @@ class History {
 
  private:
   std::map<ObjectId, ValueId> initial_;
-  std::vector<TxRecord> txs_;
+  // Per-client histories grow with the workload and are carried inside
+  // client processes, so snapshots share the prefix copy-on-write.
+  util::CowVec<TxRecord> txs_;
 };
 
 /// Merges several per-client histories into one, ordering transactions by

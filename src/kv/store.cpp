@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/registry.h"
 #include "util/fmt.h"
 
 namespace discs::kv {
@@ -18,8 +19,31 @@ std::string Version::describe() const {
   return os.str();
 }
 
+VersionedStore::ChainMap& VersionedStore::mutable_map() {
+  if (!chains_) {
+    chains_ = std::make_shared<ChainMap>();
+  } else if (chains_.use_count() > 1) {
+    // Shared with a sibling snapshot: clone the map, sharing the chains.
+    chains_ = std::make_shared<ChainMap>(*chains_);
+    obs::Registry::global().inc("kv.cow.map_clones");
+  }
+  return *chains_;
+}
+
+VersionedStore::Chain& VersionedStore::mutable_chain(ObjectId obj) {
+  auto& slot = mutable_map()[obj];
+  if (!slot) {
+    slot = std::make_shared<Chain>();
+  } else if (slot.use_count() > 1) {
+    // Only the chain being written diverges; siblings keep the original.
+    slot = std::make_shared<Chain>(*slot);
+    obs::Registry::global().inc("kv.cow.chain_clones");
+  }
+  return *slot;
+}
+
 void VersionedStore::put(ObjectId obj, Version v) {
-  auto& chain = chains_[obj];
+  auto& chain = mutable_chain(obj);
   // Insert keeping ts order; equal timestamps keep insertion order.
   auto it = std::upper_bound(
       chain.begin(), chain.end(), v.ts,
@@ -47,16 +71,25 @@ const Version* VersionedStore::latest_visible_at(ObjectId obj,
                                                  HlcTimestamp at,
                                                  TxId reader) const {
   const auto& chain = this->chain(obj);
-  for (auto it = chain.rbegin(); it != chain.rend(); ++it)
-    if (it->ts <= at && servable(*it, reader)) return &*it;
+  // First version with ts > at; everything before it is a candidate.
+  auto bound = std::upper_bound(
+      chain.begin(), chain.end(), at,
+      [](const HlcTimestamp& ts, const Version& w) { return ts < w.ts; });
+  for (auto it = std::make_reverse_iterator(bound); it != chain.rend(); ++it)
+    if (servable(*it, reader)) return &*it;
   return nullptr;
 }
 
 const Version* VersionedStore::earliest_visible_from(ObjectId obj,
                                                      HlcTimestamp at,
                                                      TxId reader) const {
-  for (const auto& v : chain(obj))
-    if (v.ts >= at && servable(v, reader)) return &v;
+  const auto& chain = this->chain(obj);
+  // First version with ts >= at; everything from it on is a candidate.
+  auto bound = std::lower_bound(
+      chain.begin(), chain.end(), at,
+      [](const Version& w, const HlcTimestamp& ts) { return w.ts < ts; });
+  for (auto it = bound; it != chain.end(); ++it)
+    if (servable(*it, reader)) return &*it;
   return nullptr;
 }
 
@@ -68,42 +101,47 @@ const Version* VersionedStore::find_value(ObjectId obj, ValueId value) const {
 
 bool VersionedStore::make_visible(ObjectId obj, ValueId value,
                                   std::set<TxId> invisible_to) {
-  auto it = chains_.find(obj);
-  if (it == chains_.end()) return false;
-  for (auto& v : it->second) {
-    if (v.value == value) {
-      v.visible = true;
-      v.invisible_to = std::move(invisible_to);
-      return true;
-    }
-  }
-  return false;
+  if (!stores(obj)) return false;
+  // Locate the version in the shared chain first so a miss does not clone.
+  const Chain& shared = *chains_->find(obj)->second;
+  std::size_t idx = shared.size();
+  for (std::size_t i = 0; i < shared.size(); ++i)
+    if (shared[i].value == value) { idx = i; break; }
+  if (idx == shared.size()) return false;
+  Version& v = mutable_chain(obj)[idx];
+  v.visible = true;
+  v.invisible_to = std::move(invisible_to);
+  return true;
 }
 
 const std::vector<Version>& VersionedStore::chain(ObjectId obj) const {
-  auto it = chains_.find(obj);
-  return it == chains_.end() ? kEmpty : it->second;
+  if (!chains_) return kEmpty;
+  auto it = chains_->find(obj);
+  return it == chains_->end() ? kEmpty : *it->second;
 }
 
 std::vector<ObjectId> VersionedStore::objects() const {
   std::vector<ObjectId> out;
-  out.reserve(chains_.size());
-  for (const auto& [obj, _] : chains_) out.push_back(obj);
+  if (!chains_) return out;
+  out.reserve(chains_->size());
+  for (const auto& [obj, _] : *chains_) out.push_back(obj);
   return out;
 }
 
 bool VersionedStore::has_pending() const {
-  for (const auto& [_, chain] : chains_)
-    for (const auto& v : chain)
+  if (!chains_) return false;
+  for (const auto& [_, chain] : *chains_)
+    for (const auto& v : *chain)
       if (!v.visible) return true;
   return false;
 }
 
 std::string VersionedStore::digest() const {
   std::ostringstream os;
-  for (const auto& [obj, chain] : chains_) {
+  if (!chains_) return os.str();
+  for (const auto& [obj, chain] : *chains_) {
     os << to_string(obj) << ":[";
-    for (const auto& v : chain) {
+    for (const auto& v : *chain) {
       os << to_string(v.value) << "@" << v.ts.str()
          << (v.visible ? "" : "!") << "{";
       for (auto r : v.invisible_to) os << to_string(r) << ",";

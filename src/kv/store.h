@@ -4,11 +4,20 @@
 // Versions carry protocol metadata: an HLC timestamp, the writing
 // transaction, causal dependencies, visibility state (some protocols stage
 // versions invisibly until commit or old-reader checks complete) and a
-// per-reader exclusion set (COPS-SNOW).  The store is a plain value type so
-// that server processes remain deep-copyable for configuration snapshots.
+// per-reader exclusion set (COPS-SNOW).
+//
+// The store is a value type with two-level copy-on-write, so server
+// processes stay cheap to clone for configuration snapshots: copying a
+// store shares the whole object map (O(1)); the first write after a copy
+// clones the map but shares the individual chains (O(objects) pointer
+// copies); only the chain actually written to is deep-copied.  Version
+// pointers returned by the read API follow the same invalidation rule as
+// before (valid until the next mutation of THIS store), and additionally
+// stay valid across mutations of other stores sharing the storage.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -68,7 +77,9 @@ class VersionedStore {
   const Version* latest_visible(ObjectId obj,
                                 TxId reader = TxId::invalid()) const;
 
-  /// Latest visible version with ts <= `at`, honoring exclusions.
+  /// Latest visible version with ts <= `at`, honoring exclusions.  Binary
+  /// search on the ts-sorted chain, then a newest-first scan over the
+  /// (usually empty) unservable suffix.
   const Version* latest_visible_at(ObjectId obj, HlcTimestamp at,
                                    TxId reader = TxId::invalid()) const;
 
@@ -87,7 +98,9 @@ class VersionedStore {
 
   const std::vector<Version>& chain(ObjectId obj) const;
   std::vector<ObjectId> objects() const;
-  bool stores(ObjectId obj) const { return chains_.count(obj) > 0; }
+  bool stores(ObjectId obj) const {
+    return chains_ && chains_->count(obj) > 0;
+  }
 
   /// True if any version of any object is still invisible (pending).
   bool has_pending() const;
@@ -95,7 +108,15 @@ class VersionedStore {
   std::string digest() const;
 
  private:
-  std::map<ObjectId, std::vector<Version>> chains_;
+  using Chain = std::vector<Version>;
+  using ChainMap = std::map<ObjectId, std::shared_ptr<Chain>>;
+
+  /// COW gates: un-share the map / one chain before mutating.
+  ChainMap& mutable_map();
+  Chain& mutable_chain(ObjectId obj);
+
+  /// Null means empty; copies share the map until one of them writes.
+  std::shared_ptr<ChainMap> chains_;
   static const std::vector<Version> kEmpty;
 };
 

@@ -43,6 +43,24 @@ void Registry::reset() {
   gauges_.clear();
 }
 
+void Registry::absorb(const Registry& other) {
+  for (const auto& [name, v] : other.counters_)
+    if (v != 0) counter(name) += v;
+  for (const auto& [name, v] : other.gauges_) set_gauge(name, v);
+}
+
+std::uint64_t& CounterFamily::at(std::string_view suffix) {
+  for (auto& e : entries_)  // identity first: literal-backed kinds
+    if (e.data == suffix.data() && e.len == suffix.size()) return *e.counter;
+  for (auto& e : entries_)
+    if (e.suffix == suffix) return *e.counter;
+  std::string name = prefix_ + std::string(suffix);
+  Entry e{suffix.data(), suffix.size(), std::string(suffix),
+          &Registry::global().counter(name)};
+  entries_.push_back(std::move(e));
+  return *entries_.back().counter;
+}
+
 namespace {
 bool has_prefix(const std::string& name, std::string_view prefix) {
   return name.compare(0, prefix.size(), prefix) == 0;

@@ -28,10 +28,10 @@ namespace discs::obs {
 
 class Registry {
  public:
-  /// The calling thread's registry.  Thread-local: counts from `discs::par`
-  /// worker threads accumulate in those threads' registries and are not
-  /// merged (document-level decision: the deterministic runs that matter
-  /// are single-threaded).
+  /// The calling thread's registry.  Thread-local, so the hot path never
+  /// contends: counts from `discs::par` worker threads accumulate in those
+  /// threads' registries during a run and are folded into the caller's
+  /// registry (via absorb) when parallel_for joins.
   static Registry& global();
 
   /// Stable reference to a counter, created at zero on first use.  The
@@ -54,6 +54,13 @@ class Registry {
   /// therefore cached references) alive.
   void reset();
 
+  /// Adds every counter of `other` into this registry (creating nodes as
+  /// needed) and overwrites gauges with `other`'s values.  `discs::par`
+  /// uses this to fold worker-thread registries into the caller's registry
+  /// at the parallel_for join, so counts from Monte-Carlo fuzz runs are
+  /// observable without cross-thread contention during the run itself.
+  void absorb(const Registry& other);
+
   /// Counters whose name starts with `prefix` (all when empty), sorted by
   /// name.  Zero-valued counters are included: a zero is a measurement.
   std::map<std::string, std::uint64_t> counters(
@@ -68,6 +75,37 @@ class Registry {
   // node-based maps: stable element addresses across insertions.
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
+};
+
+/// A family of counters sharing a prefix, keyed by a short dynamic suffix
+/// (a payload kind, a protocol name).  The hot-path alternative to building
+/// `prefix + kind` strings per event: resolution is one pointer-identity
+/// scan over a small table (payload kinds are string-literal-backed, so the
+/// same kind is the same pointer), falling back to a content match and, on
+/// first sight of a suffix, a single registry insertion.
+///
+/// Counter references come from Registry::global(), so a CounterFamily is
+/// bound to the constructing thread; declare instances thread_local.
+class CounterFamily {
+ public:
+  explicit CounterFamily(std::string_view prefix) : prefix_(prefix) {}
+
+  /// Stable counter reference for `prefix + suffix`.
+  std::uint64_t& at(std::string_view suffix);
+
+  void inc(std::string_view suffix, std::uint64_t delta = 1) {
+    at(suffix) += delta;
+  }
+
+ private:
+  struct Entry {
+    const char* data;  // suffix data pointer (identity fast path)
+    std::size_t len;
+    std::string suffix;  // owned copy (content fallback)
+    std::uint64_t* counter;
+  };
+  std::string prefix_;
+  std::vector<Entry> entries_;
 };
 
 /// RAII delta scope: captures the registry's counters at construction;

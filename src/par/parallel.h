@@ -14,7 +14,9 @@ namespace discs::par {
 /// Runs job(i) for i in [0, n) across up to `threads` workers (hardware
 /// concurrency when 0).  Blocks until all jobs finish.  Jobs must be
 /// independent; exceptions escape from the first failing job after all
-/// workers have joined.
+/// workers have joined.  Workers count into their own thread-local
+/// obs::Registry (no contention); the totals are absorbed into the
+/// caller's registry at the join.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& job,
                   std::size_t threads = 0);
 

@@ -28,23 +28,23 @@ std::uint64_t& counter_sent() {
 }
 
 void count_sent_kind(const Payload& payload) {
-  static thread_local std::string key;  // reused capacity: no allocation
-  key.assign("sim.sent.");
-  key.append(payload.kind());
-  obs::Registry::global().inc(key);
+  static thread_local obs::CounterFamily family("sim.sent.");
+  family.at(payload.kind()) += 1;
 }
 
 }  // namespace
 
+// A snapshot copies shared_ptrs, not process state: O(processes), not
+// O(history).  Processes (and their digest memos) stay shared until a
+// branch takes a mutating access — see mutable_process.
 Simulation::Simulation(const Simulation& other)
-    : send_seq_(other.send_seq_),
+    : procs_(other.procs_),
+      send_seq_(other.send_seq_),
       net_(other.net_),
       trace_(other.trace_),
-      now_(other.now_) {
-  procs_.reserve(other.procs_.size());
-  for (const auto& p : other.procs_) procs_.push_back(p->clone());
+      now_(other.now_),
+      digest_memo_(other.digest_memo_) {
   obs::Registry::global().inc("sim.snapshots");
-  obs::Registry::global().inc("sim.snapshot.procs_copied", procs_.size());
 }
 
 Simulation& Simulation::operator=(const Simulation& other) {
@@ -59,14 +59,23 @@ ProcessId Simulation::add_process(std::unique_ptr<Process> p) {
   DISCS_CHECK_MSG(p->id() == next_process_id(),
                   "process id must equal next_process_id()");
   ProcessId id = p->id();
-  procs_.push_back(std::move(p));
+  procs_.push_back(std::shared_ptr<Process>(std::move(p)));
   send_seq_.push_back(0);
+  digest_memo_.push_back(nullptr);
   return id;
 }
 
-Process& Simulation::process(ProcessId p) {
+Process& Simulation::mutable_process(ProcessId p) {
   DISCS_CHECK_MSG(p.valid() && p.value() < procs_.size(), "unknown process");
-  return *procs_[p.value()];
+  auto& slot = procs_[p.value()];
+  if (slot.use_count() > 1) {
+    // Shared with a sibling snapshot: this branch diverges here, so it
+    // clones the process it is about to touch.  Siblings keep the original.
+    slot = std::shared_ptr<Process>(slot->clone());
+    obs::Registry::global().inc("sim.snapshot.procs_copied");
+  }
+  digest_memo_[p.value()].reset();
+  return *slot;
 }
 
 const Process& Simulation::process(ProcessId p) const {
@@ -75,7 +84,7 @@ const Process& Simulation::process(ProcessId p) const {
 }
 
 void Simulation::step(ProcessId p) {
-  Process& proc = process(p);
+  Process& proc = mutable_process(p);
   std::vector<Message> inbox = net_.drain_income(p);
 
   StepContext ctx(p, now_);
@@ -161,16 +170,24 @@ std::size_t Simulation::deliver_all() {
   return n;
 }
 
+const std::string& Simulation::memoized_digest(std::size_t i) const {
+  auto& slot = digest_memo_[i];
+  if (!slot)
+    slot = std::make_shared<const std::string>(procs_[i]->state_digest());
+  return *slot;
+}
+
 std::string Simulation::digest() const {
   std::ostringstream os;
-  for (const auto& p : procs_)
-    os << to_string(p->id()) << ":{" << p->state_digest() << "} ";
+  for (std::size_t i = 0; i < procs_.size(); ++i)
+    os << to_string(procs_[i]->id()) << ":{" << memoized_digest(i) << "} ";
   os << "net:{" << net_.digest() << "}";
   return os.str();
 }
 
 std::string Simulation::process_digest(ProcessId p) const {
-  return process(p).state_digest();
+  DISCS_CHECK_MSG(p.valid() && p.value() < procs_.size(), "unknown process");
+  return memoized_digest(p.value());
 }
 
 }  // namespace discs::sim

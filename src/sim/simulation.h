@@ -7,6 +7,23 @@
 // configuration reached when tau is applied from C0, now consider a
 // different execution from C".
 //
+// Snapshots are copy-on-write and cost O(processes) pointer copies, not
+// O(history): process state is shared between snapshots until one of them
+// takes a mutating access, at which point only the touched process is
+// cloned (and within a server, only the touched version chain — see
+// kv::VersionedStore).  The trace shares its immutable event prefix the
+// same way (see sim::Trace).  COW is observationally identical to a deep
+// copy; the rules callers must respect are the same reference-invalidation
+// rules they already know from containers:
+//
+//   - a non-const Process& obtained via process()/process_as() is valid for
+//     immediate use, but must not be retained across copying the Simulation
+//     or across digest() (copying re-shares state; mutating through a stale
+//     reference would write into the sibling snapshot / stale the digest
+//     cache);
+//   - all mutations must go through the owning Simulation's accessors
+//     (which is what every driver does anyway).
+//
 // The adversary drives the simulation through two primitives, matching the
 // two event kinds of the model: step(p) (computation step by process p) and
 // deliver(m) (delivery event for message m).
@@ -14,6 +31,7 @@
 
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "sim/network.h"
@@ -41,12 +59,15 @@ class Simulation {
 
   std::size_t process_count() const { return procs_.size(); }
 
-  Process& process(ProcessId p);
+  /// Mutable access: un-shares the process from sibling snapshots (cloning
+  /// it if needed) and invalidates its memoized digest.
+  Process& process(ProcessId p) { return mutable_process(p); }
   const Process& process(ProcessId p) const;
 
   template <class T>
   T& process_as(ProcessId p) {
-    auto* t = dynamic_cast<T*>(&process(p));
+    Process& base = mutable_process(p);
+    auto* t = dynamic_cast<T*>(&base);
     DISCS_CHECK_MSG(t != nullptr, "process has unexpected type");
     return *t;
   }
@@ -88,19 +109,81 @@ class Simulation {
 
   /// Configuration digest: process states + buffer contents.  Two
   /// configurations with equal digests are indistinguishable to every
-  /// process (and have identical buffers).
+  /// process (and have identical buffers).  Per-process digests are
+  /// memoized and recomputed only for processes touched since the last
+  /// call, so digest-heavy indistinguishability checks do not re-serialize
+  /// untouched state.
   std::string digest() const;
 
   /// Digest of a single process's state, for per-process
-  /// indistinguishability checks.
+  /// indistinguishability checks.  Memoized like digest().
   std::string process_digest(ProcessId p) const;
 
  private:
-  std::vector<std::unique_ptr<Process>> procs_;
+  template <class T>
+  friend class ProcessHandle;
+
+  /// COW gate: every mutable path into a process goes through here.
+  Process& mutable_process(ProcessId p);
+  const std::string& memoized_digest(std::size_t i) const;
+
+  std::vector<std::shared_ptr<Process>> procs_;
   std::vector<std::uint64_t> send_seq_;  // per-process message sequence
   Network net_;
   Trace trace_;
   std::uint64_t now_ = 0;
+  /// Per-process digest memo; null = recompute on next digest() call.
+  /// Entries are shared between snapshots (they describe shared state).
+  mutable std::vector<std::shared_ptr<const std::string>> digest_memo_;
+};
+
+/// Cached typed access to one process — the fast path for protocol drivers
+/// that would otherwise pay a dynamic_cast per event (workload loops, stop
+/// conditions evaluated after every event).  The handle re-binds only when
+/// the underlying object changed (COW clone); the re-bind re-checks the
+/// type in debug builds and uses an unchecked static_cast in release
+/// builds (the dynamic type is invariant under clone()).
+///
+/// T may be const-qualified (e.g. ProcessHandle<const ClientBase>), in
+/// which case access never un-shares the process.  Like any process
+/// reference, a handle is tied to one Simulation object and must not
+/// outlive it.
+template <class T>
+class ProcessHandle {
+  using Sim = std::conditional_t<std::is_const_v<T>, const Simulation,
+                                 Simulation>;
+  using Base = std::conditional_t<std::is_const_v<T>, const Process, Process>;
+
+ public:
+  ProcessHandle(Sim& sim, ProcessId p) : sim_(&sim), p_(p) {}
+
+  T& get() {
+    Base& base = resolve();
+    if (&base != bound_) {
+#ifndef NDEBUG
+      DISCS_CHECK_MSG(dynamic_cast<T*>(&base) != nullptr,
+                      "process has unexpected type");
+#endif
+      bound_ = &base;
+    }
+    return static_cast<T&>(base);
+  }
+  T* operator->() { return &get(); }
+  T& operator*() { return get(); }
+
+  ProcessId id() const { return p_; }
+
+ private:
+  Base& resolve() {
+    if constexpr (std::is_const_v<T>)
+      return sim_->process(p_);
+    else
+      return sim_->mutable_process(p_);
+  }
+
+  Sim* sim_;
+  ProcessId p_;
+  Base* bound_ = nullptr;
 };
 
 }  // namespace discs::sim

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/registry.h"
 #include "util/fmt.h"
 
 namespace discs::sim {
@@ -35,7 +36,9 @@ std::string EventRecord::describe() const {
 
 void Trace::record(EventRecord rec) {
   rec.seq = records_.size();
+  bool forks = records_.shared();
   records_.push_back(std::move(rec));
+  if (forks) obs::Registry::global().inc("sim.trace.forks");
 }
 
 std::vector<Event> Trace::events() const { return events_from(0); }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/message.h"
+#include "util/cow.h"
 
 namespace discs::sim {
 
@@ -44,11 +45,16 @@ struct EventRecord {
   std::string describe() const;
 };
 
+/// Copying a Trace is O(1): snapshots share the immutable event prefix
+/// through a CowVec and the first append on a branched copy forks it (see
+/// util/cow.h).  Record references and records() views obey vector rules
+/// with respect to THIS trace's own appends, but stay valid across appends
+/// to other snapshots sharing the prefix.
 class Trace {
  public:
   void record(EventRecord rec);
 
-  const std::vector<EventRecord>& records() const { return records_; }
+  std::span<const EventRecord> records() const { return records_.view(); }
   std::size_t size() const { return records_.size(); }
   const EventRecord& at(std::size_t i) const { return records_[i]; }
 
@@ -64,7 +70,7 @@ class Trace {
   std::string render() const { return render(0, records_.size()); }
 
  private:
-  std::vector<EventRecord> records_;
+  util::CowVec<EventRecord> records_;
 };
 
 /// Filters an event-record span down to a bare event sequence, keeping only

@@ -1,0 +1,96 @@
+// Copy-on-write append-only vector.
+//
+// The proof engine's central move is "copy the configuration, explore,
+// discard".  Everything that grows with history length (the execution
+// trace, client transaction histories, version chains) therefore needs
+// snapshots that cost O(divergence), not O(world).  CowVec is the shared
+// building block: copies share one immutable prefix through a shared_ptr;
+// the first append through a *shared* handle forks a private copy of the
+// prefix, after which appends are plain push_backs again.
+//
+// Semantics:
+//   - copying a CowVec is O(1) (one shared_ptr refcount bump);
+//   - elements [0, size()) are immutable while shared — mutation happens
+//     only via push_back(), which forks first if anyone else shares the
+//     storage;
+//   - a fork costs one copy of the logical prefix, paid once per branch
+//     that actually appends; branches that only read never pay it.
+//
+// Thread-safety: like std::vector, a CowVec value is confined to one
+// thread at a time.  Two CowVecs *sharing storage* may be read from
+// different threads, but appending to either must not race with any use
+// of the other (the Monte-Carlo harness satisfies this by building each
+// simulation on its own worker thread).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace discs::util {
+
+template <class T>
+class CowVec {
+ public:
+  CowVec() = default;
+  CowVec(const CowVec&) = default;             // shares storage, O(1)
+  CowVec& operator=(const CowVec&) = default;  // shares storage, O(1)
+  CowVec(CowVec&&) noexcept = default;
+  CowVec& operator=(CowVec&&) noexcept = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](std::size_t i) const { return (*data_)[i]; }
+  const T& back() const { return (*data_)[size_ - 1]; }
+
+  /// The logical elements as a contiguous read-only view.  The view is
+  /// invalidated by push_back on THIS value (like vector iterators), but
+  /// not by appends through other values sharing the storage (they fork).
+  std::span<const T> view() const {
+    return data_ ? std::span<const T>(data_->data(), size_)
+                 : std::span<const T>();
+  }
+  const T* begin() const { return view().data(); }
+  const T* end() const { return view().data() + size_; }
+
+  /// True when storage is shared with at least one other CowVec, i.e. the
+  /// next push_back will fork.  Exposed so callers can count forks.
+  bool shared() const { return data_ && data_.use_count() > 1; }
+
+  void push_back(T value) {
+    ensure_owned();
+    data_->push_back(std::move(value));
+    ++size_;
+  }
+
+ private:
+  void ensure_owned() {
+    if (!data_) {
+      data_ = std::make_shared<std::vector<T>>();
+      return;
+    }
+    if (data_.use_count() == 1) {
+      // Sole owner.  Storage can outgrow our logical size only if a copy
+      // appended in place and was later destroyed; reclaim the tail.
+      if (data_->size() != size_)
+        data_->erase(data_->begin() + static_cast<std::ptrdiff_t>(size_),
+                     data_->end());
+      return;
+    }
+    // Shared: fork a private copy of the logical prefix, with headroom so
+    // the branch's subsequent appends do not immediately reallocate.
+    auto fresh = std::make_shared<std::vector<T>>();
+    fresh->reserve(size_ + size_ / 2 + 16);
+    fresh->insert(fresh->end(), data_->begin(),
+                  data_->begin() + static_cast<std::ptrdiff_t>(size_));
+    data_ = std::move(fresh);
+  }
+
+  std::shared_ptr<std::vector<T>> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace discs::util

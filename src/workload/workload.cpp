@@ -1,6 +1,7 @@
 #include "workload/workload.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
@@ -45,8 +46,19 @@ WorkloadResult run_workload_sequential(sim::Simulation& sim,
   if (cfg.zipf_theta > 0)
     zipf.emplace(cluster.view.objects.size(), cfg.zipf_theta);
 
+  // Cached typed handles: one dynamic_cast per client per run instead of
+  // one per event.  The const handles never un-share a COW'd process, so
+  // the per-event stop condition does not defeat snapshot sharing.
+  std::vector<sim::ProcessHandle<ClientBase>> clients;
+  std::vector<sim::ProcessHandle<const ClientBase>> clients_ro;
+  for (auto c : cluster.clients) {
+    clients.emplace_back(sim, c);
+    clients_ro.emplace_back(std::as_const(sim), c);
+  }
+
   for (std::size_t i = 0; i < cfg.num_txs; ++i) {
-    ProcessId client = cluster.clients[i % cluster.clients.size()];
+    std::size_t slot = i % cluster.clients.size();
+    ProcessId client = cluster.clients[slot];
     TxSpec spec = next_tx(ids, cluster, cfg, proto.supports_write_tx(), rng,
                           zipf ? &*zipf : nullptr);
 
@@ -56,16 +68,14 @@ WorkloadResult run_workload_sequential(sim::Simulation& sim,
     w.read_only = spec.read_only();
     w.trace_begin = sim.trace().size();
 
-    sim.process_as<ClientBase>(client).invoke(spec);
+    clients[slot]->invoke(spec);
     sim::run_fair(sim, {},
-                  [&](const sim::Simulation& s) {
-                    return s.process_as<const ClientBase>(client)
-                        .has_completed(spec.id);
+                  [&](const sim::Simulation&) {
+                    return clients_ro[slot]->has_completed(spec.id);
                   },
                   cfg.budget_per_tx);
     w.trace_end = sim.trace().size();
-    w.completed =
-        sim.process_as<ClientBase>(client).has_completed(spec.id);
+    w.completed = clients_ro[slot]->has_completed(spec.id);
     if (!w.completed) ++result.incomplete;
     result.windows.push_back(w);
   }
@@ -90,14 +100,23 @@ WorkloadResult run_workload_concurrent(sim::Simulation& sim,
   std::size_t spent = 0;
   std::size_t budget = cfg.budget_per_tx * cfg.num_txs;
 
+  // Cached typed handles, keyed like `active` (see sequential driver).
+  std::map<std::uint64_t, sim::ProcessHandle<ClientBase>> clients;
+  std::map<std::uint64_t, sim::ProcessHandle<const ClientBase>> clients_ro;
+  for (auto c : cluster.clients) {
+    clients.emplace(c.value(), sim::ProcessHandle<ClientBase>(sim, c));
+    clients_ro.emplace(
+        c.value(),
+        sim::ProcessHandle<const ClientBase>(std::as_const(sim), c));
+  }
+
   while (spent < budget) {
     // Feed idle clients.
     for (auto client : cluster.clients) {
       if (issued >= cfg.num_txs) break;
       auto it = active.find(client.value());
       if (it != active.end()) continue;
-      auto& cb = sim.process_as<ClientBase>(client);
-      if (!cb.idle()) continue;
+      if (!clients_ro.at(client.value())->idle()) continue;
       TxSpec spec = next_tx(ids, cluster, cfg, proto.supports_write_tx(),
                             rng, zipf ? &*zipf : nullptr);
       TxWindow w;
@@ -106,14 +125,14 @@ WorkloadResult run_workload_concurrent(sim::Simulation& sim,
       w.read_only = spec.read_only();
       w.trace_begin = sim.trace().size();
       result.windows.push_back(w);
-      cb.invoke(spec);
+      clients.at(client.value())->invoke(spec);
       active[client.value()] = spec.id;
       ++issued;
     }
 
     // Harvest completions.
     for (auto it = active.begin(); it != active.end();) {
-      auto& cb = sim.process_as<ClientBase>(ProcessId(it->first));
+      const auto& cb = *clients_ro.at(it->first);
       if (cb.has_completed(it->second)) {
         for (auto& w : result.windows)
           if (w.id == it->second) {

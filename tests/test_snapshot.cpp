@@ -1,0 +1,279 @@
+// Copy-on-write snapshot regression suite.
+//
+// Configuration snapshots are COW (shared processes, shared trace prefix,
+// shared version chains); these tests pin down the contract that COW is
+// observationally identical to the deep copies it replaced: branching a
+// simulation mid-workload yields the same digests, the same divergence,
+// and byte-exact discs.trace.v1 artifacts.
+#include <gtest/gtest.h>
+
+#include "kv/store.h"
+#include "obs/registry.h"
+#include "obs/trace_io.h"
+#include "par/parallel.h"
+#include "proto/common/client.h"
+#include "proto/registry.h"
+#include "sim/schedule.h"
+#include "util/cow.h"
+#include "workload/workload.h"
+
+using namespace discs;
+using proto::ClientBase;
+
+namespace {
+
+proto::ClusterConfig small_cluster() {
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = 2;
+  ccfg.num_clients = 3;
+  ccfg.num_objects = 4;
+  return ccfg;
+}
+
+/// Runs `num_txs` transactions of a fixed workload on `sim`.
+void run_txs(sim::Simulation& sim, const proto::Protocol& protocol,
+             const proto::Cluster& cluster, proto::IdSource& ids,
+             std::size_t num_txs, std::uint64_t seed) {
+  wl::WorkloadConfig wcfg;
+  wcfg.num_txs = num_txs;
+  wcfg.seed = seed;
+  wl::run_workload_sequential(sim, protocol, cluster, ids, wcfg);
+}
+
+/// Drives one read-only transaction on `client` to completion.
+void run_one_read(sim::Simulation& sim, proto::IdSource& ids,
+                  const proto::Cluster& cluster, ProcessId client) {
+  auto spec = ids.read_tx({cluster.view.objects.front()});
+  sim.process_as<ClientBase>(client).invoke(spec);
+  sim::run_fair(sim, {},
+                [&](const sim::Simulation& s) {
+                  return s.process_as<const ClientBase>(client).has_completed(
+                      spec.id);
+                },
+                10000);
+}
+
+// Branch a simulation mid-workload for every registered protocol: the
+// snapshot must equal the original at the branch point, siblings must not
+// observe each other's progress, and identical continuations must stay
+// identical (the pre-COW deep-copy behavior).
+TEST(Snapshot, BranchDivergesAndConvergesPerProtocol) {
+  for (const auto& protocol : proto::all_protocols()) {
+    SCOPED_TRACE(protocol->name());
+    sim::Simulation sim;
+    proto::IdSource ids;
+    proto::Cluster cluster = protocol->build(sim, small_cluster(), ids);
+    run_txs(sim, *protocol, cluster, ids, 6, 42);
+
+    const std::string at_branch = sim.digest();
+    sim::Simulation branch = sim;
+    EXPECT_EQ(branch.digest(), at_branch);
+    EXPECT_EQ(branch.trace().size(), sim.trace().size());
+
+    // Identical continuations on both branches stay byte-identical.
+    proto::IdSource ids_branch = ids;
+    sim::Simulation twin = sim;
+    proto::IdSource ids_twin = ids;
+    run_one_read(branch, ids_branch, cluster, cluster.clients[0]);
+    run_one_read(twin, ids_twin, cluster, cluster.clients[0]);
+    EXPECT_EQ(branch.digest(), twin.digest());
+    EXPECT_EQ(branch.trace().render(), twin.trace().render());
+
+    // The original did not move: COW kept the branch's writes private.
+    EXPECT_EQ(sim.digest(), at_branch);
+
+    // A different continuation diverges observably.
+    sim::Simulation other = sim;
+    proto::IdSource ids_other = ids;
+    run_one_read(other, ids_other, cluster, cluster.clients[1]);
+    EXPECT_NE(other.digest(), branch.digest());
+    EXPECT_EQ(sim.digest(), at_branch);
+  }
+}
+
+// Counter accounting: a snapshot is O(1) process copies (none), and only
+// the processes a branch actually touches are cloned at divergence.
+TEST(Snapshot, CounterAccounting) {
+  auto& reg = obs::Registry::global();
+  auto protocol = proto::protocol_by_name("wren");
+  sim::Simulation sim;
+  proto::IdSource ids;
+  proto::Cluster cluster = protocol->build(sim, small_cluster(), ids);
+  run_txs(sim, *protocol, cluster, ids, 4, 7);
+
+  std::uint64_t snaps = reg.value("sim.snapshots");
+  std::uint64_t cloned = reg.value("sim.snapshot.procs_copied");
+
+  sim::Simulation branch = sim;
+  EXPECT_EQ(reg.value("sim.snapshots"), snaps + 1);
+  EXPECT_EQ(reg.value("sim.snapshot.procs_copied"), cloned)
+      << "a snapshot by itself must clone no process";
+
+  // Touching one process on the branch clones exactly that process.
+  branch.process(cluster.clients[0]);
+  EXPECT_EQ(reg.value("sim.snapshot.procs_copied"), cloned + 1);
+  branch.process(cluster.clients[0]);  // already private: no second clone
+  EXPECT_EQ(reg.value("sim.snapshot.procs_copied"), cloned + 1);
+
+  // Appending on a branch forks the shared trace prefix exactly once.
+  std::uint64_t forks = reg.value("sim.trace.forks");
+  run_one_read(branch, ids, cluster, cluster.clients[0]);
+  EXPECT_EQ(reg.value("sim.trace.forks"), forks + 1);
+}
+
+// The store shares chains between snapshots and deep-copies only the chain
+// a branch writes.
+TEST(Snapshot, VersionedStoreChainGranularity) {
+  auto& reg = obs::Registry::global();
+  kv::VersionedStore store;
+  for (std::uint64_t o = 1; o <= 4; ++o)
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      kv::Version v;
+      v.value = ValueId(100 * o + i);
+      v.ts = {i + 1, 0};
+      store.put(ObjectId(o), std::move(v));
+    }
+
+  std::uint64_t maps = reg.value("kv.cow.map_clones");
+  std::uint64_t chains = reg.value("kv.cow.chain_clones");
+  kv::VersionedStore copy = store;  // O(1)
+
+  kv::Version v;
+  v.value = ValueId(999);
+  v.ts = {100, 0};
+  copy.put(ObjectId(2), std::move(v));
+
+  EXPECT_EQ(reg.value("kv.cow.map_clones"), maps + 1);
+  EXPECT_EQ(reg.value("kv.cow.chain_clones"), chains + 1)
+      << "only the written chain is deep-copied";
+  EXPECT_EQ(store.chain(ObjectId(2)).size(), 8u);
+  EXPECT_EQ(copy.chain(ObjectId(2)).size(), 9u);
+  // Untouched chains are still physically shared.
+  EXPECT_EQ(&store.chain(ObjectId(3)), &copy.chain(ObjectId(3)));
+}
+
+// Binary-search lookups agree with a reference linear scan, including
+// invisible versions, per-reader exclusions and duplicate timestamps.
+TEST(Snapshot, StoreLookupMatchesLinearScan) {
+  kv::VersionedStore store;
+  ObjectId obj(1);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    kv::Version v;
+    v.value = ValueId(i + 1);
+    v.ts = {i / 3 + 1, 0};  // duplicate timestamps
+    v.visible = (i % 4) != 0;
+    if (i % 5 == 0) v.invisible_to.insert(TxId(77));
+    store.put(obj, std::move(v));
+  }
+
+  auto servable = [](const kv::Version& v, TxId reader) {
+    if (!v.visible) return false;
+    if (reader.valid() && v.invisible_to.count(reader)) return false;
+    return true;
+  };
+  const auto& chain = store.chain(obj);
+  for (TxId reader : {TxId::invalid(), TxId(77), TxId(5)}) {
+    for (std::uint64_t t = 0; t <= 16; ++t) {
+      clk::HlcTimestamp at{t, 0};
+      const kv::Version* expect_latest = nullptr;
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+        if (it->ts <= at && servable(*it, reader)) {
+          expect_latest = &*it;
+          break;
+        }
+      EXPECT_EQ(store.latest_visible_at(obj, at, reader), expect_latest)
+          << "latest at t=" << t;
+
+      const kv::Version* expect_earliest = nullptr;
+      for (const auto& v : chain)
+        if (v.ts >= at && servable(v, reader)) {
+          expect_earliest = &v;
+          break;
+        }
+      EXPECT_EQ(store.earliest_visible_from(obj, at, reader),
+                expect_earliest)
+          << "earliest from t=" << t;
+    }
+  }
+}
+
+// Byte-exact discs.trace.v1 identity: capture, export, replay, re-export —
+// the replayed artifact must be the same bytes, for the protocols the
+// acceptance gate names.
+TEST(Snapshot, ByteExactTraceReplay) {
+  for (const char* name : {"cops-snow", "wren", "naivefast"}) {
+    SCOPED_TRACE(name);
+    auto protocol = proto::protocol_by_name(name);
+    obs::TraceDoc doc =
+        obs::capture_scenario(*protocol, "mixed", small_cluster());
+    std::string bytes = obs::export_jsonl(doc);
+
+    obs::DocReplay replay = obs::replay_doc(doc, *protocol);
+    ASSERT_TRUE(replay.ok) << replay.error;
+    EXPECT_TRUE(replay.digest_match);
+    EXPECT_EQ(obs::export_jsonl(replay.reexport), bytes);
+  }
+}
+
+// Snapshot digests are memoized per process; mutation invalidates exactly
+// the touched slot, and a memoized digest equals a from-scratch one.
+TEST(Snapshot, DigestMemoizationIsTransparent) {
+  auto protocol = proto::protocol_by_name("cops-snow");
+  sim::Simulation sim;
+  proto::IdSource ids;
+  proto::Cluster cluster = protocol->build(sim, small_cluster(), ids);
+  run_txs(sim, *protocol, cluster, ids, 5, 3);
+
+  std::string first = sim.digest();
+  EXPECT_EQ(sim.digest(), first) << "memoized digest must be stable";
+
+  sim::Simulation copy = sim;
+  EXPECT_EQ(copy.digest(), first) << "snapshot shares the memo";
+
+  run_one_read(copy, ids, cluster, cluster.clients[0]);
+  EXPECT_NE(copy.digest(), first);
+  EXPECT_EQ(sim.digest(), first)
+      << "sibling's invalidation must not leak across the snapshot";
+}
+
+// parallel_for folds worker-thread counters into the caller's registry.
+TEST(Snapshot, ParallelForAbsorbsWorkerCounters) {
+  auto& reg = obs::Registry::global();
+  std::uint64_t before = reg.value("test.par.jobs");
+  par::parallel_for(
+      16, [](std::size_t) { obs::Registry::global().inc("test.par.jobs"); },
+      4);
+  EXPECT_EQ(reg.value("test.par.jobs"), before + 16);
+}
+
+// CowVec building block: sharing, forking, and view stability.
+TEST(Snapshot, CowVecSharesAndForks) {
+  util::CowVec<int> a;
+  a.push_back(1);
+  a.push_back(2);
+
+  util::CowVec<int> b = a;  // shares
+  EXPECT_TRUE(a.shared());
+  EXPECT_EQ(b.view().data(), a.view().data());
+
+  b.push_back(3);  // forks b
+  EXPECT_FALSE(a.shared());
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_NE(b.view().data(), a.view().data());
+  EXPECT_EQ(b[2], 3);
+
+  // a's view survived b's fork and append.
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 2);
+
+  // A destroyed branch's in-place tail is reclaimed by the survivor.
+  util::CowVec<int> c = a;
+  { util::CowVec<int> d = a; }
+  c.push_back(9);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(c[2], 9);
+}
+
+}  // namespace
