@@ -1,0 +1,315 @@
+#include "fault/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/registry.h"
+#include "util/check.h"
+
+namespace discs::fault {
+
+namespace {
+
+bool in_group(const std::vector<sim::ProcessId>& g, sim::ProcessId p) {
+  return std::find(g.begin(), g.end(), p) != g.end();
+}
+
+bool in_window(const FaultRule& r, std::uint64_t now) {
+  return now >= r.from && (r.to == kForever || now < r.to);
+}
+
+}  // namespace
+
+FaultSession::FaultSession(FaultPlan plan, FaultTopology topo)
+    : plan_(std::move(plan)), topo_(std::move(topo)), rng_(plan_.seed) {
+  std::size_t crash_rules = 0;
+  for (const auto& r : plan_.rules)
+    if (r.kind == FaultRule::Kind::kCrash) ++crash_rules;
+  crash_progress_.resize(crash_rules);
+}
+
+bool FaultSession::link_blocked(sim::ProcessId src, sim::ProcessId dst,
+                                std::uint64_t now) const {
+  for (const auto& r : plan_.rules) {
+    if (r.kind == FaultRule::Kind::kPartition) {
+      if (!in_window(r, now)) continue;
+      bool ab = in_group(r.group_a, src) && in_group(r.group_b, dst);
+      bool ba = in_group(r.group_b, src) && in_group(r.group_a, dst);
+      if (ab || ba) return true;
+    } else if (r.kind == FaultRule::Kind::kHold) {
+      if (!in_window(r, now)) continue;
+      if (r.src.matches(src, topo_) && r.dst.matches(dst, topo_)) return true;
+    }
+  }
+  return false;
+}
+
+const FaultSession::Fate& FaultSession::fate_of(const sim::Message& m,
+                                                std::uint64_t now) {
+  auto it = fates_.find(m.id.value());
+  if (it != fates_.end()) return it->second;
+
+  // First sight: walk the rules in plan order.  The first matching drop
+  // rule that fires wins; delay and reorder rules accumulate extra delay;
+  // a duplicate rule arms one extra delivery.
+  Fate fate;
+  std::uint64_t extra = 0;
+  for (const auto& r : plan_.rules) {
+    switch (r.kind) {
+      case FaultRule::Kind::kDrop:
+        if (!fate.drop && r.src.matches(m.src, topo_) &&
+            r.dst.matches(m.dst, topo_) && rng_.chance(r.p)) {
+          fate.drop = true;
+          fate.retransmit_after = r.retransmit_after;
+        }
+        break;
+      case FaultRule::Kind::kDelay:
+        if (r.src.matches(m.src, topo_) && r.dst.matches(m.dst, topo_) &&
+            rng_.chance(r.p)) {
+          extra += r.steps;
+          if (r.exp_mean > 0.0)
+            extra += static_cast<std::uint64_t>(
+                std::llround(-r.exp_mean * std::log1p(-rng_.uniform01())));
+        }
+        break;
+      case FaultRule::Kind::kDuplicate:
+        if (r.src.matches(m.src, topo_) && r.dst.matches(m.dst, topo_) &&
+            rng_.chance(r.p))
+          fate.duplicate = true;
+        break;
+      case FaultRule::Kind::kReorder:
+        if (rng_.chance(r.p) && r.jitter > 0)
+          extra += rng_.below(r.jitter + 1);
+        break;
+      case FaultRule::Kind::kPartition:
+      case FaultRule::Kind::kHold:
+      case FaultRule::Kind::kCrash:
+        break;  // evaluated per query / on tick, not per message
+    }
+  }
+  fate.release_at = now + extra;
+  if (extra > 0) obs::Registry::global().inc("fault.delays");
+  return fates_.emplace(m.id.value(), fate).first->second;
+}
+
+std::size_t FaultSession::tick(sim::Simulation& sim) {
+  std::size_t applied = 0;
+  const std::uint64_t now = sim.now();
+
+  std::size_t crash_idx = 0;
+  for (const auto& r : plan_.rules) {
+    if (r.kind != FaultRule::Kind::kCrash) continue;
+    CrashProgress& prog = crash_progress_[crash_idx++];
+    if (!prog.crashed && now >= r.at) {
+      if (sim.crash(r.process, r.lossy)) {
+        obs::Registry::global().inc("fault.crashes");
+        ++applied;
+      }
+      prog.crashed = true;  // even if already down via another rule
+    }
+    if (prog.crashed && !prog.restarted && r.restart_at != kForever &&
+        now >= r.restart_at) {
+      if (sim.restart(r.process)) {
+        obs::Registry::global().inc("fault.restarts");
+        ++applied;
+      }
+      prog.restarted = true;
+    }
+  }
+
+  // Fire due retransmissions (queue is sorted by due time, then id).
+  while (!retransmit_queue_.empty() && retransmit_queue_.front().first <= now) {
+    std::uint64_t id = retransmit_queue_.front().second;
+    retransmit_queue_.erase(retransmit_queue_.begin());
+    if (sim.retransmit(sim::MsgId(id))) {
+      obs::Registry::global().inc("fault.retransmits");
+      ++applied;
+      // The resent message re-enters flight under its original id; clear
+      // its fate so the plan rolls fresh dice for the retry (a second drop
+      // schedules another retransmission, so a p<1 drop rule eventually
+      // lets it through).
+      fates_.erase(id);
+    }
+  }
+  return applied;
+}
+
+std::vector<sim::Message> FaultSession::deliverable_now(sim::Simulation& sim) {
+  const std::uint64_t now = sim.now();
+
+  // Fate assignment mutates flight (drops); collect first.
+  std::vector<sim::Message> flight(sim.network().in_flight().begin(),
+                                   sim.network().in_flight().end());
+  std::vector<sim::Message> out;
+  out.reserve(flight.size());
+  for (const auto& m : flight) {
+    const Fate fate = fate_of(m, now);  // copy: dropping may rehash fates_
+    if (fate.drop) {
+      if (sim.drop(m.id)) {
+        obs::Registry::global().inc("fault.drops");
+        if (fate.retransmit_after > 0) {
+          auto entry = std::make_pair(now + fate.retransmit_after,
+                                      m.id.value());
+          retransmit_queue_.insert(
+              std::upper_bound(retransmit_queue_.begin(),
+                               retransmit_queue_.end(), entry),
+              entry);
+        }
+      }
+      continue;
+    }
+    if (now < fate.release_at) continue;  // still delayed
+    if (link_blocked(m.src, m.dst, now)) {
+      obs::Registry::global().inc("fault.holds");
+      continue;
+    }
+    if (sim.is_crashed(m.dst)) continue;
+    if (fate.duplicate) {
+      if (sim.duplicate(m.id))
+        obs::Registry::global().inc("fault.duplicates");
+      fates_[m.id.value()].duplicate = false;
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+bool FaultSession::has_pending() const {
+  if (!retransmit_queue_.empty()) return true;
+  std::size_t crash_idx = 0;
+  for (const auto& r : plan_.rules) {
+    if (r.kind != FaultRule::Kind::kCrash) continue;
+    const CrashProgress& prog = crash_progress_[crash_idx++];
+    if (!prog.crashed) return true;
+    if (!prog.restarted && r.restart_at != kForever) return true;
+  }
+  return false;
+}
+
+sim::RunStats run_fair_faulted(sim::Simulation& sim, FaultSession& session,
+                               const std::vector<sim::ProcessId>& participants,
+                               const sim::StopCondition& stop,
+                               std::size_t budget,
+                               std::size_t max_idle_rounds) {
+  std::vector<sim::ProcessId> parts =
+      participants.empty() ? sim::all_processes(sim) : participants;
+  sim::RunStats stats;
+
+  auto within = [&](sim::ProcessId p) {
+    for (auto q : parts)
+      if (q == p) return true;
+    return false;
+  };
+
+  std::size_t idle_rounds = 0;
+  std::size_t dead_rounds = 0;  // rounds in which no event applied at all
+  while (stats.events() < budget) {
+    if (stop && stop(sim)) {
+      stats.stopped_by_condition = true;
+      return stats;
+    }
+    const std::size_t events_before = stats.events();
+    bool progressed = session.tick(sim) > 0;
+
+    for (const auto& m : session.deliverable_now(sim)) {
+      if (!within(m.src) || !within(m.dst)) continue;
+      if (stats.events() >= budget) return stats;
+      if (sim.deliver(m.id)) {
+        ++stats.deliveries;
+        progressed = true;
+        if (stop && stop(sim)) {
+          stats.stopped_by_condition = true;
+          return stats;
+        }
+      }
+    }
+
+    for (auto p : parts) {
+      if (stats.events() >= budget) return stats;
+      bool had_income = !sim.network().income_of(p).empty();
+      std::size_t sent_before = sim.network().in_flight_count();
+      if (!sim.step(p)) continue;  // crashed
+      ++stats.steps;
+      if (had_income || sim.network().in_flight_count() != sent_before)
+        progressed = true;
+      if (stop && stop(sim)) {
+        stats.stopped_by_condition = true;
+        return stats;
+      }
+    }
+
+    if (stats.events() == events_before) {
+      // Nothing could even be applied (every participant crashed): time
+      // cannot advance, so pending work will never become due.
+      if (++dead_rounds > 2) return stats;
+      continue;
+    }
+    dead_rounds = 0;
+
+    if (progressed) {
+      idle_rounds = 0;
+    } else if (++idle_rounds > max_idle_rounds && !session.has_pending()) {
+      return stats;
+    }
+  }
+  return stats;
+}
+
+sim::RunStats run_random_faulted(sim::Simulation& sim, FaultSession& session,
+                                 const std::vector<sim::ProcessId>& participants,
+                                 Rng& rng, const sim::StopCondition& stop,
+                                 std::size_t budget) {
+  std::vector<sim::ProcessId> parts =
+      participants.empty() ? sim::all_processes(sim) : participants;
+  sim::RunStats stats;
+
+  auto within = [&](sim::ProcessId p) {
+    for (auto q : parts)
+      if (q == p) return true;
+    return false;
+  };
+
+  std::size_t idle_rounds = 0;
+  std::size_t dead_iters = 0;
+  while (stats.events() < budget) {
+    if (stop && stop(sim)) {
+      stats.stopped_by_condition = true;
+      return stats;
+    }
+    session.tick(sim);
+
+    std::vector<sim::MsgId> deliverable;
+    for (const auto& m : session.deliverable_now(sim))
+      if (within(m.src) && within(m.dst)) deliverable.push_back(m.id);
+
+    bool do_deliver = !deliverable.empty() && rng.chance(0.7);
+    if (do_deliver) {
+      sim::MsgId id = deliverable[rng.pick_index(deliverable.size())];
+      if (sim.deliver(id)) ++stats.deliveries;
+      idle_rounds = 0;
+      dead_iters = 0;
+    } else {
+      sim::ProcessId p = parts[rng.pick_index(parts.size())];
+      bool had_income = !sim.network().income_of(p).empty();
+      std::size_t before = sim.network().in_flight_count();
+      if (!sim.step(p)) {
+        // Crashed pick: no event applied.  If this keeps happening nothing
+        // can advance virtual time, so give up eventually.
+        if (++dead_iters > 64 * parts.size()) return stats;
+        continue;
+      }
+      dead_iters = 0;
+      ++stats.steps;
+      if (!had_income && sim.network().in_flight_count() == before &&
+          deliverable.empty()) {
+        if (++idle_rounds > 32 * parts.size() && !session.has_pending())
+          return stats;
+      } else {
+        idle_rounds = 0;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace discs::fault

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "fault/session.h"
 #include "obs/json.h"
 #include "proto/common/client.h"
 #include "proto/registry.h"
@@ -46,6 +47,7 @@ TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
               return a.at != b.at ? a.at < b.at
                                   : a.spec.id.value() < b.spec.id.value();
             });
+  bool any_fault = false;
   for (const auto& rec : sim.trace().records()) {
     ExportedEvent e;
     e.event = rec.event;
@@ -53,10 +55,27 @@ TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
     for (const auto& m : rec.consumed)
       e.consumed.push_back(ExportedMessage::from(m));
     for (const auto& m : rec.sent) e.sent.push_back(ExportedMessage::from(m));
-    if (rec.event.kind == sim::Event::Kind::kDeliver)
-      e.delivered = ExportedMessage::from(rec.delivered);
+    switch (rec.event.kind) {
+      case sim::Event::Kind::kStep:
+        break;
+      case sim::Event::Kind::kDeliver:
+      case sim::Event::Kind::kDrop:
+      case sim::Event::Kind::kDuplicate:
+      case sim::Event::Kind::kRetransmit:
+        e.delivered = ExportedMessage::from(rec.delivered);
+        any_fault |= rec.event.kind != sim::Event::Kind::kDeliver;
+        break;
+      case sim::Event::Kind::kCrash:
+      case sim::Event::Kind::kRestart:
+        any_fault = true;
+        break;
+    }
     doc.events.push_back(std::move(e));
   }
+  // Fault-free documents keep the v1 header so their bytes are identical to
+  // what a v1 exporter wrote (see trace_io.h).
+  doc.schema = any_fault ? std::string(kTraceSchemaV2)
+                         : std::string(kTraceSchema);
   doc.history = proto::collect_history(sim, cluster.clients,
                                        cluster.initial_values);
   doc.final_digest = sim.digest();
@@ -147,10 +166,25 @@ Json event_json(const ExportedEvent& e) {
     for (const auto& m : e.sent) sent.push_back(msg_json(m));
     obj.emplace_back("consumed", Json(std::move(consumed)));
     obj.emplace_back("sent", Json(std::move(sent)));
+  } else if (e.event.kind == sim::Event::Kind::kCrash) {
+    obj.emplace_back("kind", Json("crash"));
+    obj.emplace_back("process", Json(e.event.process.value()));
+    obj.emplace_back("lossy", Json(e.event.lossy));
+  } else if (e.event.kind == sim::Event::Kind::kRestart) {
+    obj.emplace_back("kind", Json("restart"));
+    obj.emplace_back("process", Json(e.event.process.value()));
   } else {
-    obj.emplace_back("kind", Json("deliver"));
+    // deliver / drop / dup / retransmit: one affected message each.
+    std::string_view kind;
+    switch (e.event.kind) {
+      case sim::Event::Kind::kDeliver: kind = "deliver"; break;
+      case sim::Event::Kind::kDrop: kind = "drop"; break;
+      case sim::Event::Kind::kDuplicate: kind = "dup"; break;
+      default: kind = "retransmit"; break;
+    }
+    obj.emplace_back("kind", Json(std::string(kind)));
     DISCS_CHECK_MSG(e.delivered.has_value(),
-                    "trace: deliver event without message");
+                    "trace: " << kind << " event without message");
     obj.emplace_back("msg", msg_json(*e.delivered));
   }
   return Json(std::move(obj));
@@ -253,10 +287,11 @@ TraceDoc import_jsonl(std::string_view text) {
       DISCS_CHECK_MSG(!saw_header, "trace: duplicate header");
       saw_header = true;
       doc.schema = j.get("schema").as_string();
-      DISCS_CHECK_MSG(doc.schema == kTraceSchema,
-                      "trace: unsupported schema '"
-                          << doc.schema << "' (expected " << kTraceSchema
-                          << ")");
+      DISCS_CHECK_MSG(
+          doc.schema == kTraceSchema || doc.schema == kTraceSchemaV2,
+          "trace: unsupported schema '" << doc.schema << "' (expected "
+                                        << kTraceSchema << " or "
+                                        << kTraceSchemaV2 << ")");
       doc.protocol = j.get("protocol").as_string();
       doc.scenario = j.get("scenario").as_string();
       const Json& c = j.get("cluster");
@@ -296,7 +331,27 @@ TraceDoc import_jsonl(std::string_view text) {
         e.delivered = msg_from_json(j.get("msg"));
         e.event = sim::Event::deliver(e.delivered->id);
       } else {
-        DISCS_CHECK_MSG(false, "trace: unknown event kind '" << kind << "'");
+        // Every remaining kind is a v2 fault event.
+        DISCS_CHECK_MSG(doc.schema == kTraceSchemaV2,
+                        "trace: fault event '" << kind << "' under a "
+                                               << doc.schema << " header");
+        if (kind == "drop") {
+          e.delivered = msg_from_json(j.get("msg"));
+          e.event = sim::Event::drop(e.delivered->id);
+        } else if (kind == "dup") {
+          e.delivered = msg_from_json(j.get("msg"));
+          e.event = sim::Event::duplicate(e.delivered->id);
+        } else if (kind == "retransmit") {
+          e.delivered = msg_from_json(j.get("msg"));
+          e.event = sim::Event::retransmit(e.delivered->id);
+        } else if (kind == "crash") {
+          e.event = sim::Event::crash(ProcessId(j.get("process").as_uint()),
+                                      j.get("lossy").as_bool());
+        } else if (kind == "restart") {
+          e.event = sim::Event::restart(ProcessId(j.get("process").as_uint()));
+        } else {
+          DISCS_CHECK_MSG(false, "trace: unknown event kind '" << kind << "'");
+        }
       }
       DISCS_CHECK_MSG(e.seq == doc.events.size(),
                       "trace: event seq " << e.seq << " out of order");
@@ -510,6 +565,39 @@ TraceDoc capture_scenario(const proto::Protocol& protocol,
 
   return make_doc(protocol, scenario, cfg, cap.sim, cap.cluster,
                   std::move(cap.invokes));
+}
+
+TraceDoc capture_faulted(const proto::Protocol& protocol,
+                         const FaultedCaptureOptions& options) {
+  Capture cap;
+  cap.cluster = protocol.build(cap.sim, options.cluster, cap.ids);
+  DISCS_CHECK_MSG(cap.cluster.clients.size() >= 2,
+                  "capture_faulted needs at least 2 clients");
+  fault::FaultSession session(
+      options.plan, {cap.cluster.view.servers, cap.cluster.clients});
+
+  auto drive_until_completed = [&](ProcessId client, TxId tx) {
+    fault::run_fair_faulted(
+        cap.sim, session, {},
+        [&](const sim::Simulation& s) {
+          return s.process_as<const ClientBase>(client).has_completed(tx);
+        },
+        options.budget);
+  };
+
+  TxSpec w = richest_write(cap, protocol);
+  cap.invoke(cap.cluster.clients[0], w);
+  drive_until_completed(cap.cluster.clients[0], w.id);
+
+  TxSpec rot = cap.ids.read_tx(cap.cluster.view.objects);
+  cap.invoke(cap.cluster.clients[1], rot);
+  drive_until_completed(cap.cluster.clients[1], rot.id);
+
+  std::string scenario =
+      cat("faulted:", options.plan.name.empty() ? "(unnamed)"
+                                                : options.plan.name.c_str());
+  return make_doc(protocol, std::move(scenario), options.cluster, cap.sim,
+                  cap.cluster, std::move(cap.invokes));
 }
 
 }  // namespace discs::obs

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/plan.h"
 #include "history/history.h"
 #include "proto/common/cluster.h"
 #include "proto/common/tx.h"
@@ -36,9 +37,15 @@
 
 namespace discs::obs {
 
-/// Schema identifier written into every header record.  Bump the suffix on
-/// any incompatible change; importers reject unknown schemas.
+/// Schema identifiers written into the header record.  v1 covers the two
+/// event kinds of the fault-free model (step/deliver); v2 is a strict
+/// superset adding the fault events of src/fault (drop, dup, retransmit,
+/// crash, restart).  The exporter emits v1 whenever the trace contains no
+/// fault event — so fault-free artifacts are byte-identical to what a v1
+/// exporter wrote — and v2 otherwise; the importer accepts both and rejects
+/// fault events under a v1 header.  docs/TRACING.md has the details.
 inline constexpr std::string_view kTraceSchema = "discs.trace.v1";
+inline constexpr std::string_view kTraceSchemaV2 = "discs.trace.v2";
 
 /// Everything the exporter records about one message: identity plus the
 /// introspection surface the property monitors use.
@@ -63,7 +70,9 @@ struct ExportedEvent {
   std::uint64_t seq = 0;
   std::vector<ExportedMessage> consumed;       ///< kStep only
   std::vector<ExportedMessage> sent;           ///< kStep only
-  std::optional<ExportedMessage> delivered;    ///< kDeliver only
+  /// kDeliver, and (v2) the affected message of kDrop/kDuplicate/
+  /// kRetransmit.
+  std::optional<ExportedMessage> delivered;
 };
 
 /// A harness invocation: client `client` was handed `spec` when the
@@ -135,5 +144,19 @@ TraceDoc capture_scenario(const proto::Protocol& protocol,
 
 /// Names accepted by capture_scenario.
 std::vector<std::string> exportable_scenarios();
+
+struct FaultedCaptureOptions {
+  fault::FaultPlan plan;
+  proto::ClusterConfig cluster;
+  std::size_t budget = 30000;
+};
+
+/// Runs the quickread traffic pattern (one write, then one read-only
+/// transaction) under `options.plan` via a fault::FaultSession and captures
+/// the execution.  Applied faults appear as first-class events, so the
+/// captured document replays byte-exactly like any other; its header carries
+/// discs.trace.v2 whenever at least one fault actually fired.
+TraceDoc capture_faulted(const proto::Protocol& protocol,
+                         const FaultedCaptureOptions& options);
 
 }  // namespace discs::obs

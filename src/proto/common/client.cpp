@@ -29,6 +29,8 @@ void ClientBase::invoke(const TxSpec& spec) {
   started_ = false;
   max_rot_round_ = 0;
   read_results_.clear();
+  stall_steps_ = 0;
+  tx_sends_.clear();
   obs::Registry::global().inc(spec.read_only() ? "client.invoke.read"
                                                : "client.invoke.write");
 }
@@ -55,6 +57,23 @@ void ClientBase::on_step(sim::StepContext& ctx,
     start_tx(ctx, *active_);
   } else if (!active_) {
     on_idle_step(ctx);
+  }
+
+  // Timeout/retransmit hook: when enabled, a transaction that has gone
+  // `retransmit_after_` steps with no traffic in either direction re-sends
+  // everything it has sent so far (requests presumed lost).  The re-sent
+  // steps capture nothing new, so the send log cannot self-amplify.
+  if (retransmit_after_ > 0 && active_ && started_) {
+    if (inbox.empty() && ctx.outgoing().empty()) {
+      if (++stall_steps_ >= retransmit_after_) {
+        for (const auto& [dst, payload] : tx_sends_) ctx.send(dst, payload);
+        stall_steps_ = 0;
+        obs::Registry::global().inc("client.retransmits");
+      }
+    } else {
+      stall_steps_ = 0;
+      for (const auto& entry : ctx.outgoing()) tx_sends_.push_back(entry);
+    }
   }
 
   // Observe protocol round structure: the highest RotRequest round this
@@ -121,6 +140,8 @@ void ClientBase::complete_active(sim::StepContext& ctx) {
   started_ = false;
   max_rot_round_ = 0;
   read_results_.clear();
+  stall_steps_ = 0;
+  tx_sends_.clear();
 }
 
 hist::History collect_history(const sim::Simulation& sim,
@@ -144,6 +165,11 @@ std::string ClientBase::state_digest() const {
     rr << to_string(obj) << "=" << to_string(v) << ",";
   b.field("reads", rr.str());
   b.field("done", completed_.size());
+  // Only present when the retransmit hook is on, so fault-free digests are
+  // unchanged by its existence.
+  if (retransmit_after_ > 0)
+    b.field("rtx", cat(retransmit_after_, "/", stall_steps_, "/",
+                       tx_sends_.size()));
   b.raw(proto_digest());
   return b.str();
 }

@@ -34,6 +34,16 @@ class ClientBase : public sim::Process {
   /// than one object.
   virtual bool supports_multi_write() const { return true; }
 
+  /// Minimal timeout/retransmit hook for lossy networks (src/fault): after
+  /// `steps` consecutive steps in which an active transaction neither
+  /// received nor sent anything, the client re-sends every message it has
+  /// sent for that transaction so far.  0 (the default) disables the hook
+  /// and leaves behavior and digests byte-identical to a client without it.
+  /// Re-sent requests reach servers twice, so protocols must tolerate
+  /// duplicate requests before enabling this; the engine-level retransmit
+  /// (Simulation::retransmit) is exactly-once and always safe.
+  void set_retransmit_after(std::size_t steps) { retransmit_after_ = steps; }
+
   bool idle() const { return !active_.has_value(); }
   bool has_completed(TxId tx) const { return completed_.count(tx) > 0; }
   /// Values returned for the reads of a completed transaction.
@@ -75,6 +85,11 @@ class ClientBase : public sim::Process {
   std::map<ObjectId, ValueId> read_results_;
   std::map<TxId, std::map<ObjectId, ValueId>> completed_;
   hist::History history_;
+  // Retransmit hook state (inert while retransmit_after_ == 0).
+  std::size_t retransmit_after_ = 0;
+  std::size_t stall_steps_ = 0;
+  std::vector<std::pair<ProcessId, std::shared_ptr<const sim::Payload>>>
+      tx_sends_;  ///< every send of the active transaction, for re-sending
 };
 
 /// Merges the local histories of the given clients with the initial-value

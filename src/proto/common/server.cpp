@@ -31,6 +31,19 @@ void ServerBase::seed(ObjectId obj, ValueId value) {
   v.ts = {0, 0};
   v.visible = true;
   store_.put(obj, std::move(v));
+  seeded_.emplace_back(obj, value);
+}
+
+void ServerBase::on_crash() {
+  store_ = kv::VersionedStore();
+  for (const auto& [obj, value] : seeded_) {
+    kv::Version v;
+    v.value = value;
+    v.ts = {0, 0};
+    v.visible = true;
+    store_.put(obj, std::move(v));
+  }
+  obs::Registry::global().inc("server.crash.store_wiped");
 }
 
 bool ServerBase::stores(ObjectId obj) const {

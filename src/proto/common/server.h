@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "kv/store.h"
@@ -27,6 +28,12 @@ class ServerBase : public sim::Process {
                const std::vector<sim::Message>& inbox) final;
   std::string state_digest() const final;
 
+  /// Lossy crash (src/fault): the store falls back to the seeded initial
+  /// values — every write accepted since build is lost, as if the machine
+  /// lost its disk.  A recovering (non-lossy) crash never calls this: the
+  /// versioned store is the durable state the server restarts from.
+  void on_crash() override;
+
  protected:
   virtual void on_message(sim::StepContext& ctx, const sim::Message& m) = 0;
   /// Called once per step after message processing (gossip, deferred work).
@@ -41,6 +48,8 @@ class ServerBase : public sim::Process {
   ClusterView view_;
   std::vector<ObjectId> stored_;
   kv::VersionedStore store_;
+  /// The seed() calls made at build time, replayed by a lossy on_crash.
+  std::vector<std::pair<ObjectId, ValueId>> seeded_;
 };
 
 }  // namespace discs::proto

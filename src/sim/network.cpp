@@ -7,18 +7,59 @@
 
 namespace discs::sim {
 
+Network::Network(const Network& other)
+    : in_flight_(other.in_flight_), income_(other.income_) {
+  reindex();
+}
+
+Network& Network::operator=(const Network& other) {
+  if (this == &other) return *this;
+  in_flight_ = other.in_flight_;
+  income_ = other.income_;
+  reindex();
+  return *this;
+}
+
+void Network::reindex() {
+  index_.clear();
+  index_.reserve(in_flight_.size());
+  for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it)
+    index_.emplace(it->id.value(), it);
+}
+
 void Network::post(Message m) {
   DISCS_CHECK(m.id.valid());
+  const std::uint64_t key = m.id.value();
   in_flight_.push_back(std::move(m));
+  index_.emplace(key, std::prev(in_flight_.end()));
 }
 
 bool Network::deliver(MsgId id) {
-  auto it = std::find_if(in_flight_.begin(), in_flight_.end(),
-                         [&](const Message& m) { return m.id == id; });
-  if (it == in_flight_.end()) return false;
+  auto idx = index_.find(id.value());
+  if (idx == index_.end()) return false;
+  auto it = idx->second;
   Message m = std::move(*it);
   in_flight_.erase(it);
+  index_.erase(idx);
   income_[m.dst.value()].push_back(std::move(m));
+  return true;
+}
+
+std::optional<Message> Network::remove_in_flight(MsgId id) {
+  auto idx = index_.find(id.value());
+  if (idx == index_.end()) return std::nullopt;
+  auto it = idx->second;
+  Message m = std::move(*it);
+  in_flight_.erase(it);
+  index_.erase(idx);
+  return m;
+}
+
+bool Network::duplicate(MsgId id) {
+  auto idx = index_.find(id.value());
+  if (idx == index_.end()) return false;
+  const Message& m = *idx->second;
+  income_[m.dst.value()].push_back(m);
   return true;
 }
 
@@ -30,6 +71,14 @@ std::vector<Message> Network::drain_income(ProcessId p) {
   return out;
 }
 
+std::size_t Network::clear_income(ProcessId p) {
+  auto it = income_.find(p.value());
+  if (it == income_.end()) return 0;
+  const std::size_t lost = it->second.size();
+  income_.erase(it);
+  return lost;
+}
+
 std::vector<Message> Network::in_flight_between(ProcessId src,
                                                 ProcessId dst) const {
   std::vector<Message> out;
@@ -39,9 +88,9 @@ std::vector<Message> Network::in_flight_between(ProcessId src,
 }
 
 std::optional<Message> Network::find_in_flight(MsgId id) const {
-  for (const auto& m : in_flight_)
-    if (m.id == id) return m;
-  return std::nullopt;
+  auto idx = index_.find(id.value());
+  if (idx == index_.end()) return std::nullopt;
+  return *idx->second;
 }
 
 std::vector<Message> Network::income_of(ProcessId p) const {

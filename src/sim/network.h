@@ -4,11 +4,20 @@
 // buffer at the destination.  A delivery event moves a message from the
 // source's outcome buffer to the destination's income buffer; a computation
 // step drains the destination's income buffers.  Links do not lose, modify,
-// inject or duplicate messages; delivery *order* is chosen by the adversary
-// (the system is asynchronous), so the outcome buffer is a set from which
-// any element may be delivered next.
+// inject or duplicate messages *on their own*; delivery *order* is chosen by
+// the adversary (the system is asynchronous), so the outcome buffer is a set
+// from which any element may be delivered next.  The programmable adversary
+// of src/fault extends the alphabet with explicit drop / duplicate /
+// retransmit events, which the Simulation records in the trace; the Network
+// only provides the buffer mechanics for them.
+//
+// The in-flight set is a send-ordered list indexed by MsgId, so deliver /
+// find / remove are O(1) even when a fault plan delays thousands of
+// messages into a long backlog (they used to be linear scans, which made
+// large backlogs quadratic).
 #pragma once
 
+#include <list>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +28,12 @@ namespace discs::sim {
 
 class Network {
  public:
+  Network() = default;
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+
   /// Places a freshly sent message into the source's outcome buffer.
   void post(Message m);
 
@@ -26,13 +41,26 @@ class Network {
   /// buffer.  Returns false if no such message is in flight.
   bool deliver(MsgId id);
 
+  /// Removes message `id` from flight without delivering it (a drop event
+  /// chosen by the fault adversary).  Returns the removed message.
+  std::optional<Message> remove_in_flight(MsgId id);
+
+  /// Appends a copy of in-flight message `id` to its destination's income
+  /// buffer, leaving the original in flight (a duplication fault: the
+  /// receiver will see the message twice).  Returns false if not in flight.
+  bool duplicate(MsgId id);
+
   /// Drains and returns the income buffer of `p` (in delivery order).
   std::vector<Message> drain_income(ProcessId p);
+
+  /// Discards the income buffer of `p` (a crash loses undrained messages).
+  /// Returns how many messages were lost.
+  std::size_t clear_income(ProcessId p);
 
   /// --- queries (all const) ---
 
   /// Messages sent but not yet delivered, in send order.
-  const std::vector<Message>& in_flight() const { return in_flight_; }
+  const std::list<Message>& in_flight() const { return in_flight_; }
 
   /// Messages in flight from `src` to `dst`.
   std::vector<Message> in_flight_between(ProcessId src, ProcessId dst) const;
@@ -54,7 +82,11 @@ class Network {
   std::string digest() const;
 
  private:
-  std::vector<Message> in_flight_;
+  void reindex();
+
+  std::list<Message> in_flight_;  // send order
+  /// MsgId -> list node, for O(1) deliver/find/remove.
+  std::unordered_map<std::uint64_t, std::list<Message>::iterator> index_;
   std::unordered_map<std::uint64_t, std::vector<Message>> income_;
 };
 

@@ -80,6 +80,15 @@ class Process {
   /// identically on identical future inputs.
   virtual std::string state_digest() const = 0;
 
+  /// Crash hooks (src/fault).  on_crash is invoked only for a *lossy*
+  /// crash and must discard volatile state; a recovering crash keeps the
+  /// process state untouched (it models durable storage surviving the
+  /// crash, e.g. the server's versioned store).  on_restart runs when the
+  /// process is brought back and may re-initialize in-flight bookkeeping.
+  /// Both default to no-ops so existing processes are unaffected.
+  virtual void on_crash() {}
+  virtual void on_restart() {}
+
   ProcessId id() const { return id_; }
 
  private:

@@ -8,21 +8,19 @@ ReplayResult replay(Simulation& sim, std::span<const Event> events,
                     const ReplayOptions& options) {
   ReplayResult result;
   for (const auto& e : events) {
-    if (e.kind == Event::Kind::kStep) {
-      sim.step(e.process);
+    if (sim.apply(e)) {
       ++result.applied;
       continue;
     }
-    if (sim.deliver(e.msg)) {
-      ++result.applied;
-      continue;
-    }
-    if (options.skip_missing_deliveries) {
+    // A step by a crashed process is a recorded no-op only if the original
+    // execution never recorded it; reaching here means the replayed
+    // configuration diverged, which is an error like a missing delivery.
+    if (options.skip_missing_deliveries && e.kind != Event::Kind::kStep) {
       result.skipped.push_back(e);
       continue;
     }
-    result.error = cat("replay: message ", to_string(e.msg),
-                       " not in flight at event ", result.applied);
+    result.error = cat("replay: event ", e.describe(),
+                       " not applicable at position ", result.applied);
     return result;
   }
   result.ok = true;

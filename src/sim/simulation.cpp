@@ -40,6 +40,8 @@ void count_sent_kind(const Payload& payload) {
 Simulation::Simulation(const Simulation& other)
     : procs_(other.procs_),
       send_seq_(other.send_seq_),
+      crashed_(other.crashed_),
+      dropped_(other.dropped_),
       net_(other.net_),
       trace_(other.trace_),
       now_(other.now_),
@@ -61,6 +63,7 @@ ProcessId Simulation::add_process(std::unique_ptr<Process> p) {
   ProcessId id = p->id();
   procs_.push_back(std::shared_ptr<Process>(std::move(p)));
   send_seq_.push_back(0);
+  crashed_.push_back(0);
   digest_memo_.push_back(nullptr);
   return id;
 }
@@ -83,7 +86,9 @@ const Process& Simulation::process(ProcessId p) const {
   return *procs_[p.value()];
 }
 
-void Simulation::step(ProcessId p) {
+bool Simulation::step(ProcessId p) {
+  DISCS_CHECK_MSG(p.valid() && p.value() < procs_.size(), "unknown process");
+  if (crashed_[p.value()]) return false;
   Process& proc = mutable_process(p);
   std::vector<Message> inbox = net_.drain_income(p);
 
@@ -129,11 +134,13 @@ void Simulation::step(ProcessId p) {
   counter_steps() += 1;
   trace_.record(std::move(rec));
   ++now_;
+  return true;
 }
 
 bool Simulation::deliver(MsgId id) {
   auto found = net_.find_in_flight(id);
   if (!found) return false;
+  if (crashed_[found->dst.value()]) return false;
   bool ok = net_.deliver(id);
   DISCS_CHECK(ok);
 
@@ -146,12 +153,106 @@ bool Simulation::deliver(MsgId id) {
   return true;
 }
 
+bool Simulation::drop(MsgId id) {
+  auto removed = net_.remove_in_flight(id);
+  if (!removed) return false;
+
+  EventRecord rec;
+  rec.event = Event::drop(id);
+  rec.delivered = *removed;
+  dropped_.emplace(id.value(), std::move(*removed));
+  obs::Registry::global().inc("sim.drops");
+  trace_.record(std::move(rec));
+  ++now_;
+  return true;
+}
+
+bool Simulation::duplicate(MsgId id) {
+  auto found = net_.find_in_flight(id);
+  if (!found) return false;
+  if (crashed_[found->dst.value()]) return false;
+  bool ok = net_.duplicate(id);
+  DISCS_CHECK(ok);
+
+  EventRecord rec;
+  rec.event = Event::duplicate(id);
+  rec.delivered = *found;
+  obs::Registry::global().inc("sim.duplicates");
+  trace_.record(std::move(rec));
+  ++now_;
+  return true;
+}
+
+bool Simulation::retransmit(MsgId id) {
+  auto it = dropped_.find(id.value());
+  if (it == dropped_.end()) return false;
+  Message m = std::move(it->second);
+  dropped_.erase(it);
+
+  EventRecord rec;
+  rec.event = Event::retransmit(id);
+  rec.delivered = m;
+  net_.post(std::move(m));
+  obs::Registry::global().inc("sim.retransmits");
+  trace_.record(std::move(rec));
+  ++now_;
+  return true;
+}
+
+bool Simulation::crash(ProcessId p, bool lossy) {
+  DISCS_CHECK_MSG(p.valid() && p.value() < procs_.size(), "unknown process");
+  if (crashed_[p.value()]) return false;
+  crashed_[p.value()] = 1;
+  // Undrained income is volatile in both modes; only a lossy crash also
+  // wipes process state (recovery mode models durable storage surviving).
+  net_.clear_income(p);
+  if (lossy) mutable_process(p).on_crash();
+
+  EventRecord rec;
+  rec.event = Event::crash(p, lossy);
+  obs::Registry::global().inc("sim.crashes");
+  trace_.record(std::move(rec));
+  ++now_;
+  return true;
+}
+
+bool Simulation::restart(ProcessId p) {
+  DISCS_CHECK_MSG(p.valid() && p.value() < procs_.size(), "unknown process");
+  if (!crashed_[p.value()]) return false;
+  crashed_[p.value()] = 0;
+  mutable_process(p).on_restart();
+
+  EventRecord rec;
+  rec.event = Event::restart(p);
+  obs::Registry::global().inc("sim.restarts");
+  trace_.record(std::move(rec));
+  ++now_;
+  return true;
+}
+
+bool Simulation::is_crashed(ProcessId p) const {
+  DISCS_CHECK_MSG(p.valid() && p.value() < procs_.size(), "unknown process");
+  return crashed_[p.value()] != 0;
+}
+
 bool Simulation::apply(const Event& e) {
-  if (e.kind == Event::Kind::kStep) {
-    step(e.process);
-    return true;
+  switch (e.kind) {
+    case Event::Kind::kStep:
+      return step(e.process);
+    case Event::Kind::kDeliver:
+      return deliver(e.msg);
+    case Event::Kind::kDrop:
+      return drop(e.msg);
+    case Event::Kind::kDuplicate:
+      return duplicate(e.msg);
+    case Event::Kind::kRetransmit:
+      return retransmit(e.msg);
+    case Event::Kind::kCrash:
+      return crash(e.process, e.lossy);
+    case Event::Kind::kRestart:
+      return restart(e.process);
   }
-  return deliver(e.msg);
+  return false;
 }
 
 std::size_t Simulation::deliver_between(ProcessId src, ProcessId dst) {
@@ -182,6 +283,21 @@ std::string Simulation::digest() const {
   for (std::size_t i = 0; i < procs_.size(); ++i)
     os << to_string(procs_[i]->id()) << ":{" << memoized_digest(i) << "} ";
   os << "net:{" << net_.digest() << "}";
+  // Fault state is appended only when present so fault-free digests are
+  // byte-identical to what they were before faults existed.
+  bool any_crashed = false;
+  for (char c : crashed_) any_crashed |= (c != 0);
+  if (any_crashed) {
+    std::vector<std::size_t> down;
+    for (std::size_t i = 0; i < crashed_.size(); ++i)
+      if (crashed_[i]) down.push_back(i);
+    os << " crashed:{" << join(down, ",") << "}";
+  }
+  if (!dropped_.empty()) {
+    std::vector<std::uint64_t> ids;
+    for (const auto& [id, _] : dropped_) ids.push_back(id);
+    os << " dropped:{" << join(ids, ",") << "}";
+  }
   return os.str();
 }
 

@@ -29,6 +29,7 @@
 // deliver(m) (delivery event for message m).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -80,11 +81,46 @@ class Simulation {
 
   /// Computation step by `p`: drains p's income buffers, runs p's state
   /// machine, posts at most one message per neighbor.  Records the event.
-  void step(ProcessId p);
+  /// Returns false (and records nothing) when `p` is crashed — a crashed
+  /// process takes no steps until restarted.
+  bool step(ProcessId p);
 
   /// Delivery event for message `id`.  Returns false (and records nothing)
-  /// if the message is not in flight.
+  /// if the message is not in flight or its destination is crashed (the
+  /// message stays in flight until the destination restarts or the
+  /// adversary drops it).
   bool deliver(MsgId id);
+
+  /// --- fault events (the programmable adversary of src/fault) ---
+  /// Each applicable fault is recorded in the trace like step/deliver, so
+  /// faulted executions replay byte-exactly from the event sequence.
+
+  /// Removes in-flight message `id` (message loss).  The dropped message is
+  /// remembered so a later retransmit(id) can re-post it.
+  bool drop(MsgId id);
+
+  /// Delivers a *copy* of in-flight message `id` to its destination,
+  /// leaving the original in flight.  False if not in flight or the
+  /// destination is crashed.
+  bool duplicate(MsgId id);
+
+  /// Re-posts a previously dropped message under its original id — the
+  /// simulation-level model of a sender timeout + resend (exactly-once:
+  /// the id leaves the dropped set).  False if `id` was never dropped.
+  bool retransmit(MsgId id);
+
+  /// Crashes `p`: its undrained income buffer is discarded and it takes no
+  /// steps until restart.  With `lossy` the process also loses volatile
+  /// state via Process::on_crash; otherwise its state (e.g. the server's
+  /// versioned store) survives, modelling recovery from durable storage.
+  /// False if already crashed.
+  bool crash(ProcessId p, bool lossy);
+
+  /// Restarts a crashed `p` (invokes Process::on_restart).  False if not
+  /// crashed.
+  bool restart(ProcessId p);
+
+  bool is_crashed(ProcessId p) const;
 
   /// Applies a pre-chosen event.  Returns false for an inapplicable
   /// delivery.
@@ -129,6 +165,11 @@ class Simulation {
 
   std::vector<std::shared_ptr<Process>> procs_;
   std::vector<std::uint64_t> send_seq_;  // per-process message sequence
+  std::vector<char> crashed_;            // per-process crash flag
+  /// Dropped messages by id, kept so retransmit() can re-post them (and so
+  /// a replayed execution can re-derive the same retransmissions).  Ordered
+  /// for a canonical digest.
+  std::map<std::uint64_t, Message> dropped_;
   Network net_;
   Trace trace_;
   std::uint64_t now_ = 0;

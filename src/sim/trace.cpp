@@ -8,8 +8,24 @@
 namespace discs::sim {
 
 std::string Event::describe() const {
-  if (kind == Kind::kStep) return cat("step(", to_string(process), ")");
-  return cat("deliver(", to_string(msg), ")");
+  switch (kind) {
+    case Kind::kStep:
+      return cat("step(", to_string(process), ")");
+    case Kind::kDeliver:
+      return cat("deliver(", to_string(msg), ")");
+    case Kind::kDrop:
+      return cat("drop(", to_string(msg), ")");
+    case Kind::kDuplicate:
+      return cat("dup(", to_string(msg), ")");
+    case Kind::kRetransmit:
+      return cat("retransmit(", to_string(msg), ")");
+    case Kind::kCrash:
+      return cat("crash(", to_string(process), lossy ? ",lossy" : ",recover",
+                 ")");
+    case Kind::kRestart:
+      return cat("restart(", to_string(process), ")");
+  }
+  return "event(?)";
 }
 
 std::string EventRecord::describe() const {
@@ -28,7 +44,8 @@ std::string EventRecord::describe() const {
         os << (i ? ", " : "") << sent[i].describe();
       os << "]";
     }
-  } else {
+  } else if (event.kind != Event::Kind::kCrash &&
+             event.kind != Event::Kind::kRestart) {
     os << " " << delivered.describe();
   }
   return os.str();

@@ -18,15 +18,42 @@
 namespace discs::sim {
 
 /// A schedulable event, as chosen by the adversary.
+///
+/// kStep and kDeliver are the two event kinds of the paper's model
+/// (Section 2).  The remaining kinds extend the adversary's alphabet with
+/// the explicit faults of src/fault: they are recorded in the trace like
+/// any other event, so a faulted execution replays byte-exactly.
 struct Event {
-  enum class Kind { kStep, kDeliver };
+  enum class Kind {
+    kStep,        ///< computation step by `process`
+    kDeliver,     ///< delivery event for `msg`
+    kDrop,        ///< message `msg` removed from flight (lost)
+    kDuplicate,   ///< a copy of in-flight `msg` delivered to its destination
+    kRetransmit,  ///< previously dropped `msg` re-posted into flight
+    kCrash,       ///< `process` crashes (`lossy` selects state loss)
+    kRestart,     ///< `process` restarts after a crash
+  };
   Kind kind = Kind::kStep;
-  ProcessId process;  // the stepping process (kStep only)
-  MsgId msg;          // the delivered message (kDeliver only)
+  ProcessId process;   // the stepping/crashing/restarting process
+  MsgId msg;           // the affected message (deliver/drop/dup/retransmit)
+  bool lossy = false;  // kCrash only: lose volatile state vs recover it
 
   static Event step(ProcessId p) { return {Kind::kStep, p, MsgId::invalid()}; }
   static Event deliver(MsgId m) {
     return {Kind::kDeliver, ProcessId::invalid(), m};
+  }
+  static Event drop(MsgId m) { return {Kind::kDrop, ProcessId::invalid(), m}; }
+  static Event duplicate(MsgId m) {
+    return {Kind::kDuplicate, ProcessId::invalid(), m};
+  }
+  static Event retransmit(MsgId m) {
+    return {Kind::kRetransmit, ProcessId::invalid(), m};
+  }
+  static Event crash(ProcessId p, bool lossy) {
+    return {Kind::kCrash, p, MsgId::invalid(), lossy};
+  }
+  static Event restart(ProcessId p) {
+    return {Kind::kRestart, p, MsgId::invalid()};
   }
 
   friend bool operator==(const Event&, const Event&) = default;
@@ -40,7 +67,9 @@ struct EventRecord {
   std::uint64_t seq = 0;          ///< position in the trace
   std::vector<Message> consumed;  ///< messages drained at a step
   std::vector<Message> sent;      ///< messages emitted at a step
-  Message delivered;              ///< the message moved at a delivery
+  /// The message moved at a delivery; also the message affected by a
+  /// drop / duplicate / retransmit fault event.
+  Message delivered;
 
   std::string describe() const;
 };

@@ -85,11 +85,17 @@ WorkloadResult run_workload_sequential(sim::Simulation& sim,
   return result;
 }
 
-WorkloadResult run_workload_concurrent(sim::Simulation& sim,
-                                       const Protocol& proto,
-                                       const Cluster& cluster, IdSource& ids,
-                                       const WorkloadConfig& cfg) {
+namespace {
+
+/// Shared body of the concurrent drivers; `advance` applies one slice of
+/// (possibly faulted) randomized scheduling and returns its stats.
+WorkloadResult run_concurrent_impl(
+    sim::Simulation& sim, const Protocol& proto, const Cluster& cluster,
+    IdSource& ids, const WorkloadConfig& cfg,
+    const std::function<sim::RunStats(Rng&)>& advance) {
   WorkloadResult result;
+  // One stream feeds both transaction generation and scheduling, matching
+  // the original (pre-fault) driver draw for draw.
   Rng rng(cfg.seed);
   std::optional<Zipf> zipf;
   if (cfg.zipf_theta > 0)
@@ -147,8 +153,8 @@ WorkloadResult run_workload_concurrent(sim::Simulation& sim,
 
     if (issued >= cfg.num_txs && active.empty()) break;
 
-    // One randomized event.
-    auto stats = sim::run_random(sim, {}, rng, nullptr, 8);
+    // One randomized slice.
+    auto stats = advance(rng);
     spent += std::max<std::size_t>(stats.events(), 1);
   }
 
@@ -156,6 +162,28 @@ WorkloadResult run_workload_concurrent(sim::Simulation& sim,
   result.history =
       discs::proto::collect_history(sim, cluster.clients, cluster.initial_values);
   return result;
+}
+
+}  // namespace
+
+WorkloadResult run_workload_concurrent(sim::Simulation& sim,
+                                       const Protocol& proto,
+                                       const Cluster& cluster, IdSource& ids,
+                                       const WorkloadConfig& cfg) {
+  return run_concurrent_impl(sim, proto, cluster, ids, cfg, [&](Rng& rng) {
+    return sim::run_random(sim, {}, rng, nullptr, 8);
+  });
+}
+
+WorkloadResult run_workload_concurrent_faulted(sim::Simulation& sim,
+                                               const Protocol& proto,
+                                               const Cluster& cluster,
+                                               IdSource& ids,
+                                               const WorkloadConfig& cfg,
+                                               fault::FaultSession& session) {
+  return run_concurrent_impl(sim, proto, cluster, ids, cfg, [&](Rng& rng) {
+    return fault::run_random_faulted(sim, session, {}, rng, nullptr, 8);
+  });
 }
 
 }  // namespace discs::wl

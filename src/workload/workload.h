@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "fault/session.h"
 #include "history/history.h"
 #include "proto/common/client.h"
 #include "proto/common/cluster.h"
@@ -65,5 +66,16 @@ WorkloadResult run_workload_concurrent(sim::Simulation& sim,
                                        const Protocol& proto,
                                        const Cluster& cluster, IdSource& ids,
                                        const WorkloadConfig& cfg);
+
+/// run_workload_concurrent with a fault plan in the loop: scheduling goes
+/// through fault::run_random_faulted, so messages are dropped, delayed,
+/// duplicated and partitioned per `session`'s plan while clients run.  The
+/// fault fuzz tests point the consistency checkers at the result.
+WorkloadResult run_workload_concurrent_faulted(sim::Simulation& sim,
+                                               const Protocol& proto,
+                                               const Cluster& cluster,
+                                               IdSource& ids,
+                                               const WorkloadConfig& cfg,
+                                               fault::FaultSession& session);
 
 }  // namespace discs::wl

@@ -89,7 +89,8 @@ TEST_F(SimFixture, MessageIdsEncodeSenderAndSequence) {
   sim.step(a);
   echo(a).send_on_next_step_ = c;
   sim.step(a);
-  auto msgs = sim.network().in_flight();
+  std::vector<Message> msgs(sim.network().in_flight().begin(),
+                            sim.network().in_flight().end());
   ASSERT_EQ(msgs.size(), 2u);
   EXPECT_EQ(msg_sender(msgs[0].id), a);
   EXPECT_EQ(msg_seq(msgs[0].id), 0u);
