@@ -71,11 +71,23 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--plan") {
-      std::ifstream in(next());
-      DISCS_CHECK_MSG(in.good(), "cannot open plan file");
+      std::string path = next();
+      std::ifstream in(path);
+      if (!in.good()) {
+        std::cerr << "fault_lab: cannot open plan file '" << path << "'\n";
+        return 1;
+      }
       std::ostringstream text;
       text << in.rdbuf();
-      plans.push_back(fault::FaultPlan::parse(text.str()));
+      // A malformed plan is an input error, not a programming error: report
+      // it on one line and exit nonzero instead of CHECK-aborting.
+      try {
+        plans.push_back(fault::FaultPlan::parse(text.str()));
+      } catch (const discs::CheckFailure& e) {
+        std::cerr << "fault_lab: invalid plan '" << path
+                  << "': " << e.what() << "\n";
+        return 1;
+      }
     } else if (arg == "--scripted") {
       plans.push_back(scripted_by_name(next()));
     } else if (arg == "--protocol") {

@@ -59,7 +59,7 @@ int usage() {
       "  trace_explorer inspect <file> [--process N] [--kind K]\n"
       "  trace_explorer replay <file>\n"
       "  trace_explorer check <file>\n"
-      "  trace_explorer counters <protocol> <scenario>\n"
+      "  trace_explorer counters <protocol> <scenario> [--robust]\n"
       "  trace_explorer run [protocol] [scenario]\n"
       "exportable scenarios: " << join(obs::exportable_scenarios(), " | ")
       << "\nrun scenarios: quickread | chase | fracture | lag | induction\n"
@@ -262,12 +262,21 @@ int cmd_check(const std::string& path) {
 
 // --- counters -------------------------------------------------------------
 
-int cmd_counters(const std::string& proto_name, const std::string& scenario) {
+int cmd_counters(const std::string& proto_name, const std::string& scenario,
+                 bool robust) {
   auto protocol = resolve_protocol(proto_name);
   if (!protocol) return 2;
+  proto::ClusterConfig cluster = default_cluster();
+  if (robust) {
+    // Run the scenario on the hardened stack so the exactly-once and
+    // recovery counter families (client.backoff.*, server.dedup.*,
+    // server.journal.*, server.recovery.*) show up in the table.
+    cluster.exactly_once = true;
+    cluster.durable_journal = true;
+  }
   obs::Registry::global().reset();
   try {
-    obs::capture_scenario(*protocol, scenario, default_cluster());
+    obs::capture_scenario(*protocol, scenario, cluster);
   } catch (const CheckFailure& e) {
     std::cerr << e.what() << "\nexportable scenarios: "
               << join(obs::exportable_scenarios(), " | ") << "\n";
@@ -390,8 +399,16 @@ int main(int argc, char** argv) {
     return cmd_check(args[1]);
   }
   if (cmd == "counters") {
-    if (args.size() != 3) return usage();
-    return cmd_counters(args[1], args[2]);
+    bool robust = false;
+    std::vector<std::string> rest;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--robust")
+        robust = true;
+      else
+        rest.push_back(args[i]);
+    }
+    if (rest.size() != 2) return usage();
+    return cmd_counters(rest[0], rest[1], robust);
   }
   if (cmd == "run") {
     return cmd_run(args.size() > 1 ? args[1] : "cops-snow",

@@ -1,0 +1,146 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+
+#include "fault/plan.h"
+#include "obs/registry.h"
+
+namespace discs::chaos {
+
+using discs::fault::FaultPlan;
+using discs::fault::FaultRule;
+using discs::fault::kForever;
+
+namespace {
+
+/// Budgeted oracle: does `candidate` still exhibit `target`?
+class Oracle {
+ public:
+  Oracle(const proto::Protocol& proto, ViolationClass target,
+         const CampaignConfig& cfg)
+      : proto_(proto), target_(target), cfg_(cfg) {}
+
+  bool reproduces(const FaultPlan& candidate) {
+    if (spent_ >= cfg_.max_shrink_steps) return false;
+    ++spent_;
+    obs::Registry::global().inc("chaos.shrink_steps");
+    return run_once(proto_, candidate, cfg_).violation == target_;
+  }
+
+  bool exhausted() const { return spent_ >= cfg_.max_shrink_steps; }
+  std::size_t spent() const { return spent_; }
+
+ private:
+  const proto::Protocol& proto_;
+  ViolationClass target_;
+  const CampaignConfig& cfg_;
+  std::size_t spent_ = 0;
+};
+
+/// ddmin over whole rules: repeatedly try dropping chunks (complement
+/// testing), halving the chunk size down to single rules.
+FaultPlan ddmin_rules(const FaultPlan& plan, Oracle& oracle) {
+  FaultPlan best = plan;
+  std::size_t chunk = std::max<std::size_t>(best.rules.size() / 2, 1);
+  while (best.rules.size() > 1 && !oracle.exhausted()) {
+    bool progressed = false;
+    for (std::size_t start = 0;
+         start < best.rules.size() && !oracle.exhausted(); ) {
+      FaultPlan candidate = best;
+      auto first = candidate.rules.begin() +
+                   static_cast<std::ptrdiff_t>(start);
+      auto last = candidate.rules.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      std::min(start + chunk, candidate.rules.size()));
+      candidate.rules.erase(first, last);
+      if (!candidate.rules.empty() && oracle.reproduces(candidate)) {
+        best = std::move(candidate);
+        progressed = true;
+        // Retry from the same offset: the rules shifted left.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1 && !progressed) break;
+    chunk = std::max<std::size_t>(chunk / 2, 1);
+  }
+  return best;
+}
+
+/// One softening step for a rule parameter; returns false when the rule
+/// has no softer variant left to try.
+bool soften(FaultRule& r, int variant) {
+  using Kind = FaultRule::Kind;
+  switch (variant) {
+    case 0:  // halve the probability gate
+      if ((r.kind == Kind::kDrop || r.kind == Kind::kDuplicate ||
+           r.kind == Kind::kReorder || r.kind == Kind::kDelay) &&
+          r.p > 0.05) {
+        r.p = r.p / 2;
+        return true;
+      }
+      return false;
+    case 1:  // shorten delays / jitter
+      if (r.kind == Kind::kDelay && r.steps > 1) {
+        r.steps /= 2;
+        return true;
+      }
+      if (r.kind == Kind::kReorder && r.jitter > 1) {
+        r.jitter /= 2;
+        return true;
+      }
+      return false;
+    case 2:  // narrow the window to its first half
+      if ((r.kind == Kind::kPartition || r.kind == Kind::kHold) &&
+          r.to != kForever && r.to > r.from + 1) {
+        r.to = r.from + (r.to - r.from) / 2;
+        return true;
+      }
+      return false;
+    case 3:  // restart crashed processes sooner
+      if (r.kind == Kind::kCrash && r.restart_at != kForever &&
+          r.restart_at > r.at + 1) {
+        r.restart_at = r.at + (r.restart_at - r.at) / 2;
+        return true;
+      }
+      return false;
+    case 4:  // soften a lossy crash to a recovering one
+      if (r.kind == Kind::kCrash && r.lossy) {
+        r.lossy = false;
+        return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+/// Parameter descent: per rule and parameter, keep softening while the
+/// violation survives; back off one notch when it disappears.
+FaultPlan shrink_parameters(const FaultPlan& plan, Oracle& oracle) {
+  FaultPlan best = plan;
+  for (std::size_t i = 0; i < best.rules.size() && !oracle.exhausted(); ++i) {
+    for (int variant = 0; variant < 5 && !oracle.exhausted(); ++variant) {
+      for (;;) {
+        FaultPlan candidate = best;
+        if (!soften(candidate.rules[i], variant)) break;
+        if (!oracle.reproduces(candidate)) break;
+        best = std::move(candidate);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ShrinkResult shrink_plan(const proto::Protocol& proto, const FaultPlan& plan,
+                         ViolationClass target, const CampaignConfig& cfg) {
+  Oracle oracle(proto, target, cfg);
+  FaultPlan best = ddmin_rules(plan, oracle);
+  best = shrink_parameters(best, oracle);
+  best.name = plan.name + "-min";
+  return {std::move(best), oracle.spent()};
+}
+
+}  // namespace discs::chaos

@@ -1,0 +1,28 @@
+// Fault-plan shrinking: delta debugging over rules, then parameters.
+//
+// Given a plan whose execution exhibits a violation class, find a smaller
+// plan exhibiting the *same* class.  Two phases:
+//  1. Rule ddmin: try dropping chunks of rules (halving chunk size down to
+//     single rules) — the classic delta-debugging descent.
+//  2. Parameter shrink, per surviving rule: halve probabilities, shorten
+//     delays, narrow [from, to) windows, pull crash times earlier and
+//     restarts sooner, soften lossy crashes to recovering ones.  A
+//     candidate is kept only if the violation class is preserved.
+// Every candidate costs one full re-execution (run_once), so the search is
+// budgeted by CampaignConfig::max_shrink_steps.
+#pragma once
+
+#include "chaos/chaos.h"
+
+namespace discs::chaos {
+
+struct ShrinkResult {
+  fault::FaultPlan plan;
+  std::size_t steps = 0;  ///< candidate executions spent
+};
+
+ShrinkResult shrink_plan(const proto::Protocol& proto,
+                         const fault::FaultPlan& plan, ViolationClass target,
+                         const CampaignConfig& cfg);
+
+}  // namespace discs::chaos

@@ -30,6 +30,11 @@ struct ProgressOptions {
   /// Events for the write itself and for the visibility probe.
   std::size_t drive_budget = 20000;
   std::size_t probe_budget = 20000;
+  /// When nonzero, arms ClientBase::set_retransmit_after on the writer and
+  /// on the probe reader, so the audit exercises recovery from message
+  /// *loss* (not just delay).  Pair with ClusterConfig::exactly_once —
+  /// otherwise retransmit duplicates reach protocol handlers unprotected.
+  std::size_t client_retransmit_after = 0;
 };
 
 struct ProgressReport {

@@ -139,20 +139,29 @@ Json header_json(const TraceDoc& doc) {
   JsonArray initial;
   for (const auto& [obj, v] : doc.initial)
     initial.push_back(Json(JsonArray{Json(obj.value()), Json(v.value())}));
+  JsonObject cluster{
+      {"servers", Json(std::uint64_t(doc.cluster.num_servers))},
+      {"clients", Json(std::uint64_t(doc.cluster.num_clients))},
+      {"objects", Json(std::uint64_t(doc.cluster.num_objects))},
+      {"replication", Json(std::uint64_t(doc.cluster.replication))},
+      {"tt_epsilon", Json(doc.cluster.tt_epsilon)},
+      {"gossip_interval", Json(std::uint64_t(doc.cluster.gossip_interval))}};
+  // Robustness flags are emitted only when set, so traces from default
+  // configurations stay byte-identical to pre-flag exports (and old
+  // readers never see unknown keys for them).
+  if (doc.cluster.exactly_once) cluster.emplace_back("exactly_once", Json(true));
+  if (doc.cluster.durable_journal) {
+    cluster.emplace_back("durable_journal", Json(true));
+    cluster.emplace_back(
+        "journal_compact_threshold",
+        Json(std::uint64_t(doc.cluster.journal_compact_threshold)));
+  }
   return Json(JsonObject{
       {"record", Json("header")},
       {"schema", Json(doc.schema)},
       {"protocol", Json(doc.protocol)},
       {"scenario", Json(doc.scenario)},
-      {"cluster",
-       Json(JsonObject{
-           {"servers", Json(std::uint64_t(doc.cluster.num_servers))},
-           {"clients", Json(std::uint64_t(doc.cluster.num_clients))},
-           {"objects", Json(std::uint64_t(doc.cluster.num_objects))},
-           {"replication", Json(std::uint64_t(doc.cluster.replication))},
-           {"tt_epsilon", Json(doc.cluster.tt_epsilon)},
-           {"gossip_interval",
-            Json(std::uint64_t(doc.cluster.gossip_interval))}})},
+      {"cluster", Json(std::move(cluster))},
       {"initial", Json(std::move(initial))}});
 }
 
@@ -301,6 +310,14 @@ TraceDoc import_jsonl(std::string_view text) {
       doc.cluster.replication = c.get("replication").as_uint();
       doc.cluster.tt_epsilon = c.get("tt_epsilon").as_uint();
       doc.cluster.gossip_interval = c.get("gossip_interval").as_uint();
+      // Optional robustness flags (absent in traces from older exports and
+      // from default configurations).
+      if (const Json* eo = c.find("exactly_once"))
+        doc.cluster.exactly_once = eo->as_bool();
+      if (const Json* dj = c.find("durable_journal"))
+        doc.cluster.durable_journal = dj->as_bool();
+      if (const Json* th = c.find("journal_compact_threshold"))
+        doc.cluster.journal_compact_threshold = th->as_uint();
       for (const auto& pair : j.get("initial").as_array()) {
         const auto& kv = pair.as_array();
         DISCS_CHECK_MSG(kv.size() == 2, "trace: malformed initial pair");

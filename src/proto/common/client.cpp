@@ -30,6 +30,7 @@ void ClientBase::invoke(const TxSpec& spec) {
   max_rot_round_ = 0;
   read_results_.clear();
   stall_steps_ = 0;
+  backoff_attempt_ = 0;
   tx_sends_.clear();
   obs::Registry::global().inc(spec.read_only() ? "client.invoke.read"
                                                : "client.invoke.write");
@@ -59,30 +60,62 @@ void ClientBase::on_step(sim::StepContext& ctx,
     on_idle_step(ctx);
   }
 
-  // Timeout/retransmit hook: when enabled, a transaction that has gone
-  // `retransmit_after_` steps with no traffic in either direction re-sends
-  // everything it has sent so far (requests presumed lost).  The re-sent
-  // steps capture nothing new, so the send log cannot self-amplify.
-  if (retransmit_after_ > 0 && active_ && started_) {
-    if (inbox.empty() && ctx.outgoing().empty()) {
-      if (++stall_steps_ >= retransmit_after_) {
-        for (const auto& [dst, payload] : tx_sends_) ctx.send(dst, payload);
-        stall_steps_ = 0;
-        obs::Registry::global().inc("client.retransmits");
-      }
-    } else {
-      stall_steps_ = 0;
-      for (const auto& entry : ctx.outgoing()) tx_sends_.push_back(entry);
-    }
-  }
-
   // Observe protocol round structure: the highest RotRequest round this
   // client has issued for the active transaction (flushed to the registry
-  // as client.rot.rounds when the transaction completes).
+  // as client.rot.rounds when the transaction completes).  Runs before the
+  // wrap pass, while the queued payloads are still bare.
   for (const auto& [dst, payload] : ctx.outgoing()) {
     if (const auto* req = dynamic_cast<const RotRequest*>(payload.get()))
       max_rot_round_ = std::max(max_rot_round_, req->round);
   }
+
+  // Exactly-once session layer: stamp this step's fresh requests with
+  // identity envelopes.  Must precede the retransmit bookkeeping below so
+  // tx_sends_ records the wrapped form — a later re-send then carries the
+  // same ReqIds and servers dedup it instead of re-executing.
+  if (view_.exactly_once)
+    stamper_.wrap_outgoing(id(), view_, ctx.outgoing_mut());
+
+  // Timeout/retransmit hook: when enabled, a transaction that has stalled
+  // (no traffic in either direction) past the backoff threshold re-sends
+  // everything it has sent so far (requests presumed lost).  The re-sent
+  // steps capture nothing new, so the send log cannot self-amplify.
+  if (retransmit_after_ > 0 && active_ && started_) {
+    if (inbox.empty() && ctx.outgoing().empty()) {
+      if (++stall_steps_ >= backoff_threshold()) {
+        auto& reg = obs::Registry::global();
+        reg.inc("client.backoff.delay_steps", stall_steps_);
+        for (const auto& [dst, payload] : tx_sends_) ctx.send(dst, payload);
+        stall_steps_ = 0;
+        ++backoff_attempt_;
+        ++total_retransmits_;
+        reg.inc("client.retransmits");
+        reg.inc("client.backoff.retransmits");
+        if (backoff_attempt_ > 6) reg.inc("client.backoff.capped");
+      }
+    } else {
+      stall_steps_ = 0;
+      backoff_attempt_ = 0;  // progress: restart the backoff ladder
+      for (const auto& entry : ctx.outgoing()) tx_sends_.push_back(entry);
+    }
+  }
+}
+
+std::size_t ClientBase::backoff_threshold() const {
+  constexpr std::size_t kMaxShift = 6;  // cap the window at base * 64
+  std::size_t shift = std::min(backoff_attempt_, kMaxShift);
+  std::size_t base = retransmit_after_ << shift;
+  // Stateless jitter over digest-visible inputs: equal-digest clients
+  // jitter identically, distinct clients desynchronize.
+  std::uint64_t j = eo_jitter(id().value(), stamper_.session(),
+                              total_retransmits_, backoff_attempt_);
+  return base + (retransmit_after_ > 1
+                     ? static_cast<std::size_t>(j % retransmit_after_)
+                     : 0);
+}
+
+void ClientBase::on_crash() {
+  stamper_.new_incarnation();
 }
 
 const TxSpec& ClientBase::active_spec() const {
@@ -140,8 +173,15 @@ void ClientBase::complete_active(sim::StepContext& ctx) {
   started_ = false;
   max_rot_round_ = 0;
   read_results_.clear();
+  // Done path resets ALL retransmit/backoff state: a stall accumulated at
+  // the end of one transaction must not leak a head start (or an inflated
+  // backoff window) into the next one.
   stall_steps_ = 0;
+  backoff_attempt_ = 0;
   tx_sends_.clear();
+  // Every request issued so far belongs to a completed transaction (one
+  // transaction at a time), so servers may prune their dedup entries.
+  stamper_.mark_all_stable();
 }
 
 hist::History collect_history(const sim::Simulation& sim,
@@ -165,11 +205,13 @@ std::string ClientBase::state_digest() const {
     rr << to_string(obj) << "=" << to_string(v) << ",";
   b.field("reads", rr.str());
   b.field("done", completed_.size());
-  // Only present when the retransmit hook is on, so fault-free digests are
+  // Only present when the respective layer is on, so default digests are
   // unchanged by its existence.
   if (retransmit_after_ > 0)
     b.field("rtx", cat(retransmit_after_, "/", stall_steps_, "/",
-                       tx_sends_.size()));
+                       tx_sends_.size(), "/a", backoff_attempt_, "/t",
+                       total_retransmits_));
+  if (view_.exactly_once) b.field("eo", stamper_.digest());
   b.raw(proto_digest());
   return b.str();
 }

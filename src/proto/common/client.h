@@ -15,6 +15,7 @@
 
 #include "history/history.h"
 #include "proto/common/cluster.h"
+#include "proto/common/exactly_once.h"
 #include "proto/common/payloads.h"
 #include "sim/process.h"
 
@@ -34,14 +35,23 @@ class ClientBase : public sim::Process {
   /// than one object.
   virtual bool supports_multi_write() const { return true; }
 
-  /// Minimal timeout/retransmit hook for lossy networks (src/fault): after
-  /// `steps` consecutive steps in which an active transaction neither
-  /// received nor sent anything, the client re-sends every message it has
-  /// sent for that transaction so far.  0 (the default) disables the hook
-  /// and leaves behavior and digests byte-identical to a client without it.
-  /// Re-sent requests reach servers twice, so protocols must tolerate
-  /// duplicate requests before enabling this; the engine-level retransmit
-  /// (Simulation::retransmit) is exactly-once and always safe.
+  /// Timeout/retransmit hook for lossy networks (src/fault): when an
+  /// active transaction has neither received nor sent anything for long
+  /// enough, the client re-sends every message it has sent for that
+  /// transaction so far.  The stall threshold starts at `steps` and backs
+  /// off exponentially per consecutive retransmit (doubling, capped at
+  /// 64x) plus deterministic jitter derived from digest-visible state
+  /// (exactly_once.h's eo_jitter) — no RNG state, so the digest contract
+  /// holds.  Any traffic resets the ladder.  0 (the default) disables the
+  /// hook and leaves behavior and digests byte-identical to a client
+  /// without it.
+  ///
+  /// With ClusterConfig::exactly_once, re-sent requests carry the same
+  /// SessionEnvelope identity and servers suppress re-execution, making
+  /// this hook unconditionally safe for every protocol.  Without the
+  /// session layer, duplicates reach protocol handlers and the old caveat
+  /// applies: enable only for duplicate-tolerant protocols (the
+  /// engine-level Simulation::retransmit is exactly-once and always safe).
   void set_retransmit_after(std::size_t steps) { retransmit_after_ = steps; }
 
   bool idle() const { return !active_.has_value(); }
@@ -55,6 +65,10 @@ class ClientBase : public sim::Process {
   void on_step(sim::StepContext& ctx,
                const std::vector<sim::Message>& inbox) final;
   std::string state_digest() const final;
+  /// Lossy crash: the session identity is volatile, so start a new
+  /// incarnation — servers then treat the old incarnation's envelopes as
+  /// stale instead of confusing them with post-crash requests.
+  void on_crash() override;
 
  protected:
   /// Begin executing the active transaction: typically fan out requests.
@@ -88,8 +102,17 @@ class ClientBase : public sim::Process {
   // Retransmit hook state (inert while retransmit_after_ == 0).
   std::size_t retransmit_after_ = 0;
   std::size_t stall_steps_ = 0;
+  std::size_t backoff_attempt_ = 0;     ///< consecutive retransmits, resets
+                                        ///< on traffic and on completion
+  std::uint64_t total_retransmits_ = 0; ///< lifetime, jitter input
   std::vector<std::pair<ProcessId, std::shared_ptr<const sim::Payload>>>
       tx_sends_;  ///< every send of the active transaction, for re-sending
+  /// Exactly-once sender state (inert unless view_.exactly_once).
+  SessionStamper stamper_;
+
+  /// Stall threshold for the next retransmit: base << attempt (capped at
+  /// 64x) plus deterministic jitter in [0, base).
+  std::size_t backoff_threshold() const;
 };
 
 /// Merges the local histories of the given clients with the initial-value

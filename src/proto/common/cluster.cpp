@@ -61,6 +61,9 @@ ClusterView make_view(const ClusterConfig& cfg, ProcessId first_server) {
                   "replication must leave no server storing everything");
 
   ClusterView view;
+  view.exactly_once = cfg.exactly_once;
+  view.durable_journal = cfg.durable_journal;
+  view.journal_compact_threshold = cfg.journal_compact_threshold;
   for (std::size_t s = 0; s < cfg.num_servers; ++s)
     view.servers.push_back(ProcessId(first_server.value() + s));
   for (std::size_t o = 0; o < cfg.num_objects; ++o) {

@@ -23,6 +23,15 @@ struct ClusterView {
   /// object -> replica servers (first entry is the primary).
   std::map<ObjectId, std::vector<ProcessId>> placement;
 
+  /// Robustness switches, copied from ClusterConfig by make_view so that
+  /// every process built from this view — including probe clients added
+  /// later via Protocol::add_client — inherits them.  Both default off,
+  /// which keeps digests and traces byte-identical to pre-session-layer
+  /// builds.
+  bool exactly_once = false;    ///< session envelopes + server dedup
+  bool durable_journal = false; ///< write-ahead journal survives lossy crash
+  std::size_t journal_compact_threshold = 256;
+
   ProcessId primary(ObjectId obj) const;
   const std::vector<ProcessId>& replicas(ObjectId obj) const;
   bool server_stores(ProcessId server, ObjectId obj) const;
@@ -45,6 +54,17 @@ struct ClusterConfig {
   std::uint64_t tt_epsilon = 5;
   /// Servers gossip stabilization info every `gossip_interval` own steps.
   std::size_t gossip_interval = 1;
+  /// Exactly-once session layer (proto/common/exactly_once.h): clients and
+  /// servers wrap non-idempotent sends in identity envelopes; receivers
+  /// dedup and replay memoized replies, making retransmits and `duplicate`
+  /// fault rules safe for every protocol.
+  bool exactly_once = false;
+  /// Journaled crash recovery (proto/common/journal.h): servers append
+  /// store mutations to a write-ahead journal; a *lossy* crash replays the
+  /// journal instead of wiping back to the seeded baseline.
+  bool durable_journal = false;
+  /// Journal entries kept before compacting into a snapshot base.
+  std::size_t journal_compact_threshold = 256;
 };
 
 /// Result of building a cluster into a simulation.

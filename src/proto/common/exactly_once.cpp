@@ -1,0 +1,152 @@
+#include "proto/common/exactly_once.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/registry.h"
+
+namespace discs::proto {
+
+std::uint64_t eo_jitter(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                        std::uint64_t d) {
+  auto mix = [](std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  return mix(mix(mix(mix(a) + b) + c) + d);
+}
+
+void SessionStamper::wrap_outgoing(
+    ProcessId self, const ClusterView& view,
+    std::vector<std::pair<ProcessId, std::shared_ptr<const sim::Payload>>>&
+        outgoing) {
+  for (auto& [dst, payload] : outgoing) {
+    if (std::find(view.servers.begin(), view.servers.end(), dst) ==
+        view.servers.end())
+      continue;  // replies to clients are not deduplicated
+    if (payload->idempotent()) continue;
+    if (dynamic_cast<const SessionEnvelope*>(payload.get()))
+      continue;  // retransmitted or replayed: keep the original ReqId
+    ReqId req{self, session_, next_seq_++};
+    payload = std::make_shared<const SessionEnvelope>(req, stable_before_,
+                                                      std::move(payload));
+  }
+}
+
+std::string SessionStamper::digest() const {
+  std::ostringstream os;
+  os << "s" << session_ << "#" << next_seq_ << "<" << stable_before_;
+  return os.str();
+}
+
+DedupTable::Admission DedupTable::admit(const SessionEnvelope& env) {
+  auto& reg = obs::Registry::global();
+  auto& rec = senders_[env.req.sender];
+  if (env.req.session < rec.session) return {Verdict::kStale, nullptr};
+  if (env.req.session > rec.session) {
+    // The sender lost volatile state and started over; everything from the
+    // old incarnation is dead.
+    rec = SenderRec{};
+    rec.session = env.req.session;
+  }
+  if (env.stable_before > rec.stable_before) {
+    rec.stable_before = env.stable_before;
+    prune(rec);
+  }
+  if (env.req.seq < rec.stable_before) {
+    // The sender already acknowledged the answer to this seq; nobody wants
+    // the reply any more.
+    return {Verdict::kDuplicate, nullptr};
+  }
+  for (const auto& e : rec.entries)
+    if (e.seq == env.req.seq)
+      return {Verdict::kDuplicate, e.answered ? &e.sends : nullptr};
+
+  Entry entry;
+  entry.seq = env.req.seq;
+  entry.tx = env.tx_hint();
+  // Keep entries sorted by seq (duplicates of older requests may arrive
+  // after newer ones were recorded).
+  auto it = std::upper_bound(
+      rec.entries.begin(), rec.entries.end(), entry.seq,
+      [](std::uint64_t s, const Entry& e) { return s < e.seq; });
+  rec.entries.insert(it, std::move(entry));
+  while (rec.entries.size() > kEvictionWindow) {
+    // Evict the oldest answered entry; unanswered ones are still pending
+    // and must keep their slot.
+    auto victim = std::find_if(rec.entries.begin(), rec.entries.end(),
+                               [](const Entry& e) { return e.answered; });
+    if (victim == rec.entries.end()) break;
+    rec.entries.erase(victim);
+    reg.inc("server.dedup.evicted");
+  }
+  return {Verdict::kExecute, nullptr};
+}
+
+void DedupTable::prune(SenderRec& rec) {
+  auto& reg = obs::Registry::global();
+  while (!rec.entries.empty() &&
+         rec.entries.front().seq < rec.stable_before) {
+    rec.entries.pop_front();
+    reg.inc("server.dedup.pruned");
+  }
+}
+
+void DedupTable::memoize_replies(const std::vector<Send>& outgoing,
+                                 const std::vector<std::size_t>& skip) {
+  for (std::size_t i = 0; i < outgoing.size(); ++i) {
+    if (std::find(skip.begin(), skip.end(), i) != skip.end()) continue;
+    const auto& [dst, payload] = outgoing[i];
+    if (payload->idempotent()) continue;
+    TxId tx = payload->tx_hint();
+    if (tx == TxId::invalid()) continue;
+    auto rec = senders_.find(dst);
+    if (rec == senders_.end()) continue;
+    for (auto& e : rec->second.entries) {
+      if (e.answered || e.tx != tx) continue;
+      e.sends.emplace_back(dst, payload);
+      e.answered = true;
+      break;
+    }
+  }
+}
+
+void DedupTable::forget_unanswered() {
+  auto& reg = obs::Registry::global();
+  for (auto& [sender, rec] : senders_) {
+    for (auto it = rec.entries.begin(); it != rec.entries.end();) {
+      if (it->answered) {
+        ++it;
+      } else {
+        it = rec.entries.erase(it);
+        reg.inc("server.dedup.forgotten");
+      }
+    }
+  }
+}
+
+std::size_t DedupTable::size() const {
+  std::size_t n = 0;
+  for (const auto& [sender, rec] : senders_) n += rec.entries.size();
+  return n;
+}
+
+std::string DedupTable::digest() const {
+  std::ostringstream os;
+  for (const auto& [sender, rec] : senders_) {
+    os << to_string(sender) << ":s" << rec.session << "<" << rec.stable_before
+       << "[";
+    for (const auto& e : rec.entries) {
+      os << e.seq << (e.answered ? "+" : "-");
+      for (const auto& [dst, payload] : e.sends)
+        os << "(" << to_string(dst) << " " << payload->describe() << ")";
+      os << ",";
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace discs::proto

@@ -40,6 +40,23 @@ TxSpec IdSource::write_tx(const std::vector<ObjectId>& objects) {
 
 TxSpec IdSource::write_one(ObjectId object) { return write_tx({object}); }
 
+std::string ReqId::str() const {
+  return cat(to_string(sender), ":s", session, ":#", seq);
+}
+
+std::string SessionEnvelope::describe() const {
+  return cat("eo[", req.str(), " stable<", stable_before, "] ",
+             inner ? inner->describe() : "(empty)");
+}
+
+std::vector<ValueId> SessionEnvelope::values_carried() const {
+  return inner ? inner->values_carried() : std::vector<ValueId>{};
+}
+
+std::size_t SessionEnvelope::byte_size() const {
+  return 24 + (inner ? inner->byte_size() : 0);
+}
+
 std::string ReadItem::describe() const {
   return cat(to_string(object), "=", to_string(value), "@", ts.str());
 }

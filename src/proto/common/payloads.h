@@ -28,6 +28,48 @@ using discs::kv::Dep;
 using discs::kv::Sibling;
 using discs::sim::Payload;
 
+/// Identity of one request under the exactly-once session layer: which
+/// process sent it, in which session incarnation (bumped when the sender
+/// loses volatile state), and at which position in that session's send
+/// stream.  Two envelopes with equal ReqIds carry the same request, however
+/// many times the network or a retransmitting client repeats them.
+struct ReqId {
+  ProcessId sender = ProcessId::invalid();
+  std::uint64_t session = 0;
+  std::uint64_t seq = 0;
+
+  bool valid() const { return sender != ProcessId::invalid(); }
+  std::string str() const;
+
+  friend bool operator==(const ReqId&, const ReqId&) = default;
+  friend auto operator<=>(const ReqId&, const ReqId&) = default;
+};
+
+/// The exactly-once session layer's wire format: any protocol payload,
+/// wrapped with a request identity.  Receivers (ServerBase) keep a dedup
+/// table keyed by ReqId; a repeated envelope is not re-executed — the
+/// memoized reply sends are replayed instead.  `stable_before` is the
+/// sender's acknowledgement watermark: every seq below it has been fully
+/// answered, so the receiver may prune those dedup entries.
+struct SessionEnvelope : Payload {
+  ReqId req;
+  std::uint64_t stable_before = 0;
+  std::shared_ptr<const Payload> inner;
+
+  SessionEnvelope() = default;
+  SessionEnvelope(ReqId r, std::uint64_t stable,
+                  std::shared_ptr<const Payload> p)
+      : req(r), stable_before(stable), inner(std::move(p)) {}
+
+  std::string describe() const override;
+  std::string_view kind() const override { return "SessionEnvelope"; }
+  std::vector<ValueId> values_carried() const override;
+  std::size_t byte_size() const override;
+  TxId tx_hint() const override {
+    return inner ? inner->tx_hint() : TxId::invalid();
+  }
+};
+
 /// One object's answer within a read reply.
 struct ReadItem {
   ObjectId object;
@@ -66,6 +108,7 @@ struct RotRequest : Payload {
 
   std::string describe() const override;
   std::string_view kind() const override { return "RotRequest"; }
+  TxId tx_hint() const override { return tx; }
   std::size_t byte_size() const override;
 };
 
@@ -79,6 +122,7 @@ struct RotReply : Payload {
 
   std::string describe() const override;
   std::string_view kind() const override { return "RotReply"; }
+  TxId tx_hint() const override { return tx; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
 };
@@ -88,6 +132,7 @@ struct SnapshotRequest : Payload {
   TxId tx;
   std::string describe() const override;
   std::string_view kind() const override { return "SnapshotRequest"; }
+  TxId tx_hint() const override { return tx; }
 };
 
 /// Server -> client: the snapshot timestamp.  Carries no values.
@@ -96,6 +141,7 @@ struct SnapshotReply : Payload {
   HlcTimestamp snapshot;
   std::string describe() const override;
   std::string_view kind() const override { return "SnapshotReply"; }
+  TxId tx_hint() const override { return tx; }
 };
 
 /// Client -> server: direct write (non-2PC protocols).
@@ -110,6 +156,7 @@ struct WriteRequest : Payload {
 
   std::string describe() const override;
   std::string_view kind() const override { return "WriteRequest"; }
+  TxId tx_hint() const override { return tx; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
 };
@@ -121,6 +168,7 @@ struct WriteReply : Payload {
   HlcTimestamp ts{};
   std::string describe() const override;
   std::string_view kind() const override { return "WriteReply"; }
+  TxId tx_hint() const override { return tx; }
 };
 
 /// Two-phase commit: prepare (client- or server-coordinated).
@@ -133,6 +181,7 @@ struct Prepare : Payload {
 
   std::string describe() const override;
   std::string_view kind() const override { return "Prepare"; }
+  TxId tx_hint() const override { return tx; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
 };
@@ -142,6 +191,7 @@ struct PrepareAck : Payload {
   HlcTimestamp proposed;
   std::string describe() const override;
   std::string_view kind() const override { return "PrepareAck"; }
+  TxId tx_hint() const override { return tx; }
 };
 
 struct Commit : Payload {
@@ -149,6 +199,7 @@ struct Commit : Payload {
   HlcTimestamp commit_ts;
   std::string describe() const override;
   std::string_view kind() const override { return "Commit"; }
+  TxId tx_hint() const override { return tx; }
 };
 
 struct CommitAck : Payload {
@@ -156,6 +207,7 @@ struct CommitAck : Payload {
   HlcTimestamp commit_ts;
   std::string describe() const override;
   std::string_view kind() const override { return "CommitAck"; }
+  TxId tx_hint() const override { return tx; }
 };
 
 /// Server -> server: periodic stabilization gossip (Wren / GentleRain).
@@ -165,6 +217,9 @@ struct Gossip : Payload {
   std::uint64_t round = 0;
   std::string describe() const override;
   std::string_view kind() const override { return "Gossip"; }
+  /// Receivers fold gossip with a monotone max, so a repeat is a no-op and
+  /// the session layer need not (and does not) envelope it.
+  bool idempotent() const override { return true; }
 };
 
 /// COPS-SNOW: writer's server asks a dependency's server which read-only
@@ -177,6 +232,7 @@ struct OldReaderQuery : Payload {
   std::vector<std::pair<ObjectId, HlcTimestamp>> deps;
   std::string describe() const override;
   std::string_view kind() const override { return "OldReaderQuery"; }
+  TxId tx_hint() const override { return wtx; }
   std::size_t byte_size() const override;
 };
 
@@ -185,6 +241,7 @@ struct OldReaderReply : Payload {
   std::vector<TxId> old_readers;
   std::string describe() const override;
   std::string_view kind() const override { return "OldReaderReply"; }
+  TxId tx_hint() const override { return wtx; }
   std::size_t byte_size() const override;
 };
 
@@ -194,6 +251,7 @@ struct TxStatusQuery : Payload {
   TxId wtx;
   std::string describe() const override;
   std::string_view kind() const override { return "TxStatusQuery"; }
+  TxId tx_hint() const override { return wtx; }
 };
 
 struct TxStatusReply : Payload {
@@ -203,6 +261,7 @@ struct TxStatusReply : Payload {
   HlcTimestamp commit_ts{};
   std::string describe() const override;
   std::string_view kind() const override { return "TxStatusReply"; }
+  TxId tx_hint() const override { return wtx; }
 };
 
 }  // namespace discs::proto

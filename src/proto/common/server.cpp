@@ -1,5 +1,7 @@
 #include "proto/common/server.h"
 
+#include <algorithm>
+
 #include "obs/registry.h"
 #include "util/check.h"
 
@@ -19,7 +21,10 @@ void count_recv(const sim::Payload& payload) {
 
 ServerBase::ServerBase(ProcessId id, ClusterView view,
                        std::vector<ObjectId> stored)
-    : sim::Process(id), view_(std::move(view)), stored_(std::move(stored)) {
+    : sim::Process(id),
+      view_(std::move(view)),
+      stored_(std::move(stored)),
+      journal_(view_.journal_compact_threshold) {
   DISCS_CHECK_MSG(!stored_.empty(),
                   "each server stores a non-empty set of objects");
 }
@@ -35,6 +40,17 @@ void ServerBase::seed(ObjectId obj, ValueId value) {
 }
 
 void ServerBase::on_crash() {
+  auto& reg = obs::Registry::global();
+  if (view_.durable_journal) {
+    // The journal (and the dedup/session state riding in its durability
+    // domain) survives; rebuild the store from it instead of losing the
+    // accepted writes.  Pending dedup entries stand for executions that
+    // died with the process: forget them so the sender's retransmit
+    // re-executes instead of being suppressed forever.
+    store_ = journal_.replay(seeded_);
+    dedup_.forget_unanswered();
+    return;
+  }
   store_ = kv::VersionedStore();
   for (const auto& [obj, value] : seeded_) {
     kv::Version v;
@@ -43,7 +59,11 @@ void ServerBase::on_crash() {
     v.visible = true;
     store_.put(obj, std::move(v));
   }
-  obs::Registry::global().inc("server.crash.store_wiped");
+  // Volatile session state dies with the store: start a new incarnation so
+  // receivers can tell pre-crash envelopes from post-crash ones.
+  dedup_.clear();
+  stamper_.new_incarnation();
+  reg.inc("server.crash.store_wiped");
 }
 
 bool ServerBase::stores(ObjectId obj) const {
@@ -54,20 +74,63 @@ bool ServerBase::stores(ObjectId obj) const {
 
 void ServerBase::on_step(sim::StepContext& ctx,
                          const std::vector<sim::Message>& inbox) {
+  auto& reg = obs::Registry::global();
+  // Outgoing indices filled by memoized-reply replays; excluded from this
+  // step's memoization pass (a replayed reply answers an old request, not
+  // whichever pending one happens to share its transaction).
+  std::vector<std::size_t> replayed;
   for (const auto& m : inbox) {
     for (const auto& part : sim::payload_parts(m)) {
       count_recv(*part);
+      if (const auto* env =
+              dynamic_cast<const SessionEnvelope*>(part.get())) {
+        auto adm = dedup_.admit(*env);
+        if (adm.verdict != DedupTable::Verdict::kExecute) {
+          reg.inc(adm.verdict == DedupTable::Verdict::kStale
+                      ? "server.dedup.stale"
+                      : "server.dedup.hits");
+          if (adm.replay) {
+            for (const auto& [dst, payload] : *adm.replay) {
+              replayed.push_back(ctx.outgoing().size());
+              ctx.send(dst, payload);
+            }
+          }
+          continue;
+        }
+        DISCS_CHECK(env->inner != nullptr);
+        count_recv(*env->inner);
+        sim::Message sub = m;
+        sub.payload = env->inner;
+        on_message(ctx, sub);
+        continue;
+      }
       sim::Message sub = m;
       sub.payload = part;
       on_message(ctx, sub);
     }
   }
   on_tick(ctx);
+  if (view_.exactly_once) {
+    // Wrap our own server->server sends first so that what gets memoized
+    // (and thus replayed on a duplicate) carries the final ReqIds.
+    stamper_.wrap_outgoing(id(), view_, ctx.outgoing_mut());
+    dedup_.memoize_replies(ctx.outgoing(), replayed);
+    // High-water mark across all servers; the !(>=) form also replaces the
+    // initial NaN.
+    auto sz = static_cast<double>(dedup_.size());
+    if (!(reg.gauge("server.dedup.table_size") >= sz))
+      reg.set_gauge("server.dedup.table_size", sz);
+  }
 }
 
 std::string ServerBase::state_digest() const {
   sim::DigestBuilder b;
   b.field("store", store_.digest());
+  // Only present when the respective layer is on, so default-configured
+  // digests are byte-identical to pre-layer builds.
+  if (view_.exactly_once)
+    b.field("eo", stamper_.digest() + "/" + dedup_.digest());
+  if (view_.durable_journal) b.field("wal", journal_.digest());
   b.raw(proto_digest());
   return b.str();
 }

@@ -48,6 +48,18 @@ class Payload {
   /// experiment (Section 3.4: the fat-metadata COPS variant "requires to
   /// store and communicate a prohibitively big amount of data").
   virtual std::size_t byte_size() const { return 16; }
+
+  /// True when processing this payload twice is indistinguishable from
+  /// processing it once (e.g. monotone-max gossip).  The exactly-once
+  /// session layer (src/proto/common/exactly_once.h) skips wrapping
+  /// idempotent payloads in identity envelopes.
+  virtual bool idempotent() const { return false; }
+
+  /// The transaction this payload concerns, if any.  The exactly-once
+  /// session layer pairs a reply with the pending request it answers by
+  /// matching (destination, tx_hint); payloads without a transaction return
+  /// invalid and are never memoized as replies.
+  virtual TxId tx_hint() const { return TxId::invalid(); }
 };
 
 /// A message in transit or in an income buffer.  Copyable: the payload is

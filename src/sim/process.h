@@ -53,6 +53,15 @@ class StepContext {
     return outgoing_;
   }
 
+  /// Mutable access for the exactly-once session layer, which rewrites
+  /// queued sends to wrap them in identity envelopes after the protocol
+  /// handler ran (proto/common/exactly_once.h).  Protocol code must not
+  /// use this: sends go through send()/send_make.
+  std::vector<std::pair<ProcessId, std::shared_ptr<const Payload>>>&
+  outgoing_mut() {
+    return outgoing_;
+  }
+
  private:
   ProcessId self_;
   std::uint64_t now_;
