@@ -3,70 +3,189 @@
 // important building block ... improving the performance of distributed
 // read-only transactions has become a key requirement").
 //
-// Latency model: the simulator is asynchronous, so we report two proxies
-// measured from traces —
-//   rounds:  client->server round trips per ROT (the paper's R), and
-//   events:  total simulation events from invocation to completion
-//            (captures server-side blocking and extra coordination).
+// Latency model: the simulator is asynchronous, so we report proxies
+// measured from span-annotated trace captures —
+//   rounds:   client->server round trips per ROT (the paper's R),
+//   latency:  total simulation events from invocation to completion, and
+//   critpath: that latency tiled into attributed segments by obs::SpanDag
+//             (request/reply network flight, server queue + service time,
+//             client think/finish) — where each protocol's events go.
 // The shape to expect: one-round protocols ~1 round regardless of write
-// fraction; two-round protocols 2; blocking protocols show growing event
-// counts as more writes keep snapshots unstable.
+// fraction; two-round protocols 2; blocking protocols show growing
+// server_service time as more writes keep snapshots unstable.
+//
+// Custom main (same contract as bench_sim / bench_faults):
+//   --smoke        one write fraction, fewer transactions (CI wiring check)
+//   --out=PATH     JSON results path (default BENCH_latency.json)
+//
+// The JSON carries a "pinned" map of deterministic integers (the simulation
+// is seeded, so they change only when protocol behavior changes);
+// bench/check_bench_regression.py compares them against
+// bench/baselines/BENCH_latency.json in CI.  Pinned values are produced by
+// --smoke runs; the baseline must be regenerated with --smoke too.
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
 
-#include "impossibility/properties.h"
 #include "metrics/metrics.h"
+#include "obs/json.h"
+#include "obs/span_dag.h"
+#include "obs/trace_io.h"
 #include "proto/registry.h"
 #include "util/fmt.h"
 #include "workload/workload.h"
 
 using namespace discs;
 
-int main() {
-  std::cout << "=== ROT latency proxies vs write fraction ===\n\n";
+namespace {
 
-  std::vector<std::vector<std::string>> rows;
-  rows.push_back({"protocol", "write%", "rot count", "rounds p50",
-                  "rounds max", "events/rot p50", "events/rot p95"});
+struct Cell {
+  std::string protocol;
+  double write_fraction = 0;
+  metrics::Summary rounds;
+  metrics::Summary latency;
+  std::map<obs::SegmentKind, metrics::Summary> segments;
+};
 
-  for (const auto& protocol : proto::correct_protocols()) {
-    for (double wf : {0.1, 0.3, 0.5}) {
-      sim::Simulation sim;
-      proto::IdSource ids;
-      proto::ClusterConfig ccfg;
-      ccfg.num_servers = 4;
-      ccfg.num_clients = 6;
-      ccfg.num_objects = 8;
-      proto::Cluster cluster = protocol->build(sim, ccfg, ids);
+constexpr obs::SegmentKind kAllSegments[] = {
+    obs::SegmentKind::kClientThink,    obs::SegmentKind::kNetRequest,
+    obs::SegmentKind::kServerQueue,    obs::SegmentKind::kServerService,
+    obs::SegmentKind::kNetReply,       obs::SegmentKind::kClientFinish};
 
-      wl::WorkloadConfig wcfg;
-      wcfg.num_txs = 120;
-      wcfg.write_fraction = wf;
-      wcfg.read_objects = 3;
-      wcfg.seed = 42;
-      auto result =
-          wl::run_workload_sequential(sim, *protocol, cluster, ids, wcfg);
+Cell measure(const proto::Protocol& protocol, double wf, std::size_t txs) {
+  obs::WorkloadCaptureOptions options;
+  options.cluster.num_servers = 4;
+  options.cluster.num_clients = 6;
+  options.cluster.num_objects = 8;
+  options.cluster.record_spans = true;
+  options.workload.num_txs = txs;
+  options.workload.write_fraction = wf;
+  options.workload.read_objects = 3;
+  options.workload.seed = 42;
 
-      metrics::Summary rounds, events;
-      for (const auto& w : result.windows) {
-        if (!w.read_only || !w.completed) continue;
-        auto audit = imposs::audit_rot(sim.trace(), w.trace_begin,
-                                       w.trace_end, w.id, w.client,
-                                       cluster.view);
-        rounds.add(static_cast<double>(audit.rounds));
-        events.add(static_cast<double>(w.trace_end - w.trace_begin));
-      }
-      rows.push_back({protocol->name(), fixed(wf * 100, 0),
-                      cat(rounds.count()), fixed(rounds.p50(), 1),
-                      fixed(rounds.max(), 0), fixed(events.p50(), 0),
-                      fixed(events.p95(), 0)});
+  obs::WorkloadCapture capture = obs::capture_workload(protocol, options);
+  obs::SpanDag dag(capture.doc);
+
+  Cell cell;
+  cell.protocol = protocol.name();
+  cell.write_fraction = wf;
+  for (const auto& w : capture.result.windows) {
+    if (!w.read_only || !w.completed) continue;
+    auto profile = dag.profile(w.id);
+    cell.rounds.add(static_cast<double>(profile.rounds));
+    cell.latency.add(static_cast<double>(w.trace_end - w.trace_begin));
+    auto cp = dag.critical_path(w.id);
+    for (auto k : kAllSegments)
+      cell.segments[k].add(static_cast<double>(cp.total(k)));
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_latency.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a.rfind("--out=", 0) == 0) {
+      out_path = std::string(a.substr(6));
+    } else {
+      std::cerr << "bench_latency: unknown argument '" << a
+                << "' (expected --smoke | --out=PATH)\n";
+      return 2;
     }
   }
 
+  const std::vector<double> fractions =
+      smoke ? std::vector<double>{0.3} : std::vector<double>{0.1, 0.3, 0.5};
+  const std::size_t txs = smoke ? 40 : 120;
+
+  std::cout << "=== ROT latency attribution vs write fraction ===\n\n";
+
+  std::vector<Cell> cells;
+  try {
+    for (const auto& protocol : proto::correct_protocols())
+      for (double wf : fractions) cells.push_back(measure(*protocol, wf, txs));
+  } catch (const std::exception& e) {
+    std::cerr << "bench_latency: measurement failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"protocol", "write%", "rots", "rounds p50", "rounds max",
+                  "lat p50", "lat p95", "net p50", "queue p50", "service p50",
+                  "client p50"});
+  for (const auto& c : cells) {
+    auto seg = [&](obs::SegmentKind k) {
+      return c.segments.at(k).p50();
+    };
+    rows.push_back(
+        {c.protocol, fixed(c.write_fraction * 100, 0), cat(c.rounds.count()),
+         fixed(c.rounds.p50(), 1), fixed(c.rounds.max(), 0),
+         fixed(c.latency.p50(), 0), fixed(c.latency.p95(), 0),
+         fixed(seg(obs::SegmentKind::kNetRequest) +
+                   seg(obs::SegmentKind::kNetReply),
+               0),
+         fixed(seg(obs::SegmentKind::kServerQueue), 0),
+         fixed(seg(obs::SegmentKind::kServerService), 0),
+         fixed(seg(obs::SegmentKind::kClientThink) +
+                   seg(obs::SegmentKind::kClientFinish),
+               0)});
+  }
   std::cout << ascii_table(rows) << "\n";
   std::cout << "Expected shape (who wins): cops-snow reads in 1 round at\n"
                "every write fraction; wren/gentlerain pay a fixed 2nd\n"
-               "round; spanner pays server-side waiting (events grow with\n"
-               "writes); eiger/cops are 1-round until dependency races\n"
-               "force extra rounds.\n";
+               "round; spanner pays server-side waiting (service time\n"
+               "grows with writes); eiger/cops are 1-round until\n"
+               "dependency races force extra rounds.\n";
+
+  // JSON artifact.
+  obs::JsonArray cell_json;
+  obs::JsonObject pinned;
+  for (const auto& c : cells) {
+    obs::JsonObject critpath;
+    for (auto k : kAllSegments)
+      critpath.emplace_back(std::string(obs::segment_kind_str(k)),
+                            obs::Json(c.segments.at(k).p50()));
+    cell_json.push_back(obs::Json(obs::JsonObject{
+        {"protocol", obs::Json(c.protocol)},
+        {"write_pct",
+         obs::Json(static_cast<std::uint64_t>(c.write_fraction * 100))},
+        {"rots", obs::Json(static_cast<std::uint64_t>(c.rounds.count()))},
+        {"rounds_p50", obs::Json(c.rounds.p50())},
+        {"rounds_max", obs::Json(c.rounds.max())},
+        {"latency_p50", obs::Json(c.latency.p50())},
+        {"latency_p95", obs::Json(c.latency.p95())},
+        {"latency_p99", obs::Json(c.latency.p99())},
+        {"critpath", obs::Json(std::move(critpath))}}));
+    // Pinned regression keys: deterministic integers at the write fraction
+    // every mode runs (0.3).
+    if (c.write_fraction == 0.3) {
+      pinned.emplace_back(
+          c.protocol + ".rounds_max",
+          obs::Json(static_cast<std::uint64_t>(c.rounds.max())));
+      pinned.emplace_back(
+          c.protocol + ".latency_p95",
+          obs::Json(static_cast<std::uint64_t>(c.latency.p95())));
+    }
+  }
+  obs::Json doc(obs::JsonObject{{"schema", obs::Json("discs.bench.latency.v1")},
+                                {"smoke", obs::Json(smoke)},
+                                {"cells", obs::Json(std::move(cell_json))},
+                                {"pinned", obs::Json(std::move(pinned))}});
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "bench_latency: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << doc.dump() << "\n";
+  std::cerr << "bench_latency: wrote " << out_path << " (" << cells.size()
+            << " cells)\n";
   return 0;
 }

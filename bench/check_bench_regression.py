@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare a bench JSON against its committed baseline.
+
+Usage: check_bench_regression.py BASELINE CURRENT [--threshold=0.25]
+
+Two artifact flavors are understood:
+
+* Reports with a "pinned" map (discs.bench.latency.v1): every pinned family
+  in the baseline must exist in the current run and must not exceed the
+  baseline by more than the threshold (plus an absolute slack of 1, so a
+  baseline of 0 tolerates noise-free growth to 1 without tripping).  Pinned
+  values are deterministic simulation metrics, not wall times: they move
+  only when protocol or harness behavior changes, which is exactly what the
+  guard is for.  Decreases are improvements and always pass.
+
+* google-benchmark reports (BENCH_sim.json / BENCH_faults.json): wall times
+  are machine-dependent, so only coverage is enforced — every benchmark
+  family named in the baseline must still be registered and measured in the
+  current run.  A silently vanished benchmark is a regression in what CI
+  measures even when everything that still runs got faster.
+
+Exit status: 0 all guards hold, 1 regression, 2 usage/parse error.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench_regression: {msg}")
+    return 1
+
+
+def check_pinned(base, cur, threshold):
+    bad = 0
+    base_pinned = base["pinned"]
+    cur_pinned = cur.get("pinned", {})
+    for family, base_value in sorted(base_pinned.items()):
+        if family not in cur_pinned:
+            bad += fail(f"pinned family '{family}' missing from current run")
+            continue
+        cur_value = cur_pinned[family]
+        limit = base_value * (1.0 + threshold) + 1
+        if cur_value > limit:
+            bad += fail(
+                f"'{family}' regressed: {cur_value} vs baseline "
+                f"{base_value} (limit {limit:g})"
+            )
+    print(
+        f"check_bench_regression: {len(base_pinned)} pinned families checked, "
+        f"{bad} regressed"
+    )
+    return bad
+
+
+def check_coverage(base, cur):
+    base_names = {b["name"] for b in base["benchmarks"]}
+    cur_names = {b["name"] for b in cur.get("benchmarks", [])}
+    missing = sorted(base_names - cur_names)
+    for name in missing:
+        fail(f"benchmark '{name}' vanished from current run")
+    print(
+        f"check_bench_regression: {len(base_names)} benchmark families "
+        f"checked for coverage, {len(missing)} missing"
+    )
+    return len(missing)
+
+
+def main(argv):
+    threshold = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip())
+        return 2
+
+    docs = []
+    for path in paths:
+        try:
+            with open(path) as f:
+                docs.append(json.load(f))
+        except (OSError, ValueError) as e:
+            fail(f"cannot read '{path}': {e}")
+            return 2
+    base, cur = docs
+
+    if "pinned" in base:
+        bad = check_pinned(base, cur, threshold)
+    elif "benchmarks" in base:
+        bad = check_coverage(base, cur)
+    else:
+        fail(f"'{paths[0]}' has neither 'pinned' nor 'benchmarks'")
+        return 2
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -72,15 +72,20 @@ int main(int argc, char** argv) {
     }
     std::ostringstream text;
     text << in.rdbuf();
+    // One diagnostic contract for every malformed input: bad JSON syntax,
+    // missing/mistyped fields, and specs naming unknown protocols all print
+    // a single "chaos_lab: invalid repro" line and exit nonzero (pinned by
+    // ctest) instead of dying on an unhandled exception.
     chaos::ReproSpec spec;
+    chaos::RunOutcome outcome;
     try {
       spec = chaos::ReproSpec::parse(text.str());
-    } catch (const CheckFailure& e) {
+      outcome = chaos::run_repro(spec);
+    } catch (const std::exception& e) {
       std::cerr << "chaos_lab: invalid repro '" << repro_path
                 << "': " << e.what() << "\n";
       return 1;
     }
-    auto outcome = chaos::run_repro(spec);
     std::cout << "repro " << repro_path << " (" << spec.protocol
               << ", expected " << chaos::violation_class_str(spec.expected)
               << "): observed " << chaos::violation_class_str(outcome.violation)

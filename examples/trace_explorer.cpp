@@ -3,7 +3,10 @@
 // Two families of commands:
 //
 //   Artifact commands (work on exported JSONL traces, see docs/TRACING.md):
-//     export <protocol> <scenario> <file>   capture a scenario and write it
+//     export <protocol> <scenario> <file> [--spans]
+//                                           capture a scenario and write it;
+//                                           --spans adds span/cause
+//                                           annotations (docs/PROFILING.md)
 //     inspect <file> [--process N] [--kind K]
 //                                           pretty-print an exported trace,
 //                                           optionally filtered
@@ -12,8 +15,20 @@
 //                                           round-trip guarantee
 //     check <file>                          re-run the consistency checkers
 //                                           on the imported history
-//     counters <protocol> <scenario>        run a scenario and print the
-//                                           counter registry
+//     spans <file>                          list the span notes of a --spans
+//                                           capture
+//     critpath <file> [--tx N]              per-ROT critical-path latency
+//                                           attribution + offline Table-1
+//                                           profile (needs --spans capture)
+//     hist <file>                           latency histograms from the
+//                                           artifact (plus segment breakdown
+//                                           when span-annotated)
+//     counters <protocol> <scenario> [--robust] [--out FILE]
+//                                           run a scenario and print the
+//                                           counter registry; --out dumps a
+//                                           discs.counters.v1 JSON file
+//     counters --diff <runA> <runB>         compare two counter dumps,
+//                                           printing only changed families
 //
 //   Live-run commands (the original debugging lens; also the default when
 //   the first argument is a protocol name):
@@ -25,14 +40,19 @@
 // which is not a single linear event sequence (see docs/TRACING.md).
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "consistency/checkers.h"
 #include "impossibility/induction.h"
 #include "impossibility/scenarios.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
 #include "obs/registry.h"
+#include "obs/span_dag.h"
 #include "obs/trace_io.h"
 #include "proto/common/client.h"
 #include "proto/registry.h"
@@ -55,11 +75,15 @@ proto::ClusterConfig default_cluster() {
 int usage() {
   std::cerr <<
       "usage:\n"
-      "  trace_explorer export <protocol> <scenario> <file>\n"
+      "  trace_explorer export <protocol> <scenario> <file> [--spans]\n"
       "  trace_explorer inspect <file> [--process N] [--kind K]\n"
       "  trace_explorer replay <file>\n"
       "  trace_explorer check <file>\n"
-      "  trace_explorer counters <protocol> <scenario> [--robust]\n"
+      "  trace_explorer spans <file>\n"
+      "  trace_explorer critpath <file> [--tx N]\n"
+      "  trace_explorer hist <file>\n"
+      "  trace_explorer counters <protocol> <scenario> [--robust] [--out F]\n"
+      "  trace_explorer counters --diff <runA> <runB>\n"
       "  trace_explorer run [protocol] [scenario]\n"
       "exportable scenarios: " << join(obs::exportable_scenarios(), " | ")
       << "\nrun scenarios: quickread | chase | fracture | lag | induction\n"
@@ -118,12 +142,14 @@ std::string message_line(const obs::ExportedMessage& m) {
 // --- export ---------------------------------------------------------------
 
 int cmd_export(const std::string& proto_name, const std::string& scenario,
-               const std::string& path) {
+               const std::string& path, bool spans) {
   auto protocol = resolve_protocol(proto_name);
   if (!protocol) return 2;
+  proto::ClusterConfig cluster = default_cluster();
+  cluster.record_spans = spans;
   obs::TraceDoc doc;
   try {
-    doc = obs::capture_scenario(*protocol, scenario, default_cluster());
+    doc = obs::capture_scenario(*protocol, scenario, cluster);
   } catch (const CheckFailure& e) {
     std::cerr << e.what() << "\nexportable scenarios: "
               << join(obs::exportable_scenarios(), " | ") << "\n";
@@ -138,7 +164,116 @@ int cmd_export(const std::string& proto_name, const std::string& scenario,
   std::cout << "wrote " << path << ": " << doc.protocol << "/" << doc.scenario
             << ", " << doc.events.size() << " events, "
             << doc.invokes.size() << " invokes, "
-            << doc.history.txs().size() << " transactions\n";
+            << doc.history.txs().size() << " transactions";
+  if (!doc.spans.empty()) std::cout << ", " << doc.spans.size() << " spans";
+  std::cout << "\n";
+  return 0;
+}
+
+// --- spans / critpath / hist ----------------------------------------------
+
+int cmd_spans(const std::string& path) {
+  auto doc = load_doc(path);
+  if (!doc) return 1;
+  if (!doc->cluster.record_spans) {
+    std::cerr << path << ": no span annotations (re-export with --spans)\n";
+    return 1;
+  }
+  std::cout << doc->spans.size() << " span notes:\n";
+  for (const auto& s : doc->spans) {
+    std::cout << "  at=" << s.at << " "
+              << pad(std::string(obs::span_kind_str(s.kind)), 12)
+              << " " << to_string(TxId(s.tx)) << " "
+              << to_string(ProcessId(s.proc));
+    if (s.kind == obs::SpanNote::Kind::kRound ||
+        s.kind == obs::SpanNote::Kind::kTxEnd)
+      std::cout << " waves=" << s.round;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_critpath(const std::string& path, std::optional<std::uint64_t> tx) {
+  auto doc = load_doc(path);
+  if (!doc) return 1;
+  try {
+    obs::SpanDag dag(*doc);
+    std::vector<obs::SpanDag::TxInfo> targets;
+    if (tx) {
+      for (const auto& t : dag.transactions())
+        if (t.id == TxId(*tx)) targets.push_back(t);
+      if (targets.empty()) {
+        std::cerr << "transaction T" << *tx << " not in this trace\n";
+        return 1;
+      }
+    } else {
+      targets = dag.completed_rots();
+    }
+    for (const auto& t : targets) {
+      if (!t.completed) {
+        std::cout << to_string(t.id) << ": incomplete, skipped\n";
+        continue;
+      }
+      auto cp = dag.critical_path(t.id);
+      std::cout << cp.summary() << "\n";
+      for (const auto& seg : cp.segments)
+        std::cout << "    [" << seg.from << "," << seg.to << ") "
+                  << pad(std::string(obs::segment_kind_str(seg.kind)), 14)
+                  << " "
+                  << to_string(seg.process) << " +" << seg.length() << "\n";
+      if (t.read_only) {
+        auto p = dag.profile(t.id);
+        std::cout << "    profile: rounds=" << p.rounds
+                  << " N=" << (p.nonblocking ? "yes" : "NO")
+                  << " vals/msg=" << p.max_values_per_message
+                  << " vals/obj=" << p.max_values_per_object
+                  << (p.leaked_foreign_values ? " foreign-values!" : "")
+                  << " bytes=" << p.reply_bytes << "\n";
+      }
+    }
+  } catch (const CheckFailure& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_hist(const std::string& path) {
+  auto doc = load_doc(path);
+  if (!doc) return 1;
+  obs::Histogram all, rot;
+  for (const auto& t : doc->history.txs()) {
+    if (!t.completed) continue;
+    std::uint64_t latency = t.complete_seq - t.invoke_seq;
+    all.record(latency);
+    if (!t.reads.empty() && t.writes.empty()) rot.record(latency);
+  }
+  std::cout << "tx latency (events):  " << all.str() << "\n"
+            << "rot latency (events): " << rot.str() << "\n";
+  if (!doc->cluster.record_spans) {
+    std::cout << "(no span annotations; re-export with --spans for the "
+                 "critical-path breakdown)\n";
+    return 0;
+  }
+  try {
+    obs::SpanDag dag(*doc);
+    std::map<obs::SegmentKind, obs::Histogram> by_kind;
+    for (const auto& t : dag.completed_rots()) {
+      auto cp = dag.critical_path(t.id);
+      for (obs::SegmentKind k :
+           {obs::SegmentKind::kClientThink, obs::SegmentKind::kNetRequest,
+            obs::SegmentKind::kServerQueue, obs::SegmentKind::kServerService,
+            obs::SegmentKind::kNetReply, obs::SegmentKind::kClientFinish})
+        by_kind[k].record(cp.total(k));
+    }
+    std::cout << "critical-path segments per ROT (events):\n";
+    for (const auto& [k, h] : by_kind)
+      std::cout << "  " << pad(std::string(obs::segment_kind_str(k)), 14)
+                << " " << h.str() << "\n";
+  } catch (const CheckFailure& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -263,7 +398,7 @@ int cmd_check(const std::string& path) {
 // --- counters -------------------------------------------------------------
 
 int cmd_counters(const std::string& proto_name, const std::string& scenario,
-                 bool robust) {
+                 bool robust, const std::optional<std::string>& out_path) {
   auto protocol = resolve_protocol(proto_name);
   if (!protocol) return 2;
   proto::ClusterConfig cluster = default_cluster();
@@ -285,6 +420,72 @@ int cmd_counters(const std::string& proto_name, const std::string& scenario,
   std::cout << "counters for " << protocol->name() << "/" << scenario
             << ":\n"
             << obs::Registry::global().table();
+  if (out_path) {
+    // Machine-readable dump for `counters --diff` (and anything else that
+    // wants to compare runs).
+    obs::JsonObject counters;
+    for (const auto& [name, v] : obs::Registry::global().counters())
+      counters.emplace_back(name, obs::Json(v));
+    obs::Json doc(obs::JsonObject{
+        {"schema", obs::Json("discs.counters.v1")},
+        {"protocol", obs::Json(protocol->name())},
+        {"scenario", obs::Json(scenario)},
+        {"counters", obs::Json(std::move(counters))}});
+    std::ofstream out(*out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write " << *out_path << "\n";
+      return 1;
+    }
+    out << doc.dump() << "\n";
+    std::cout << "wrote " << *out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_counters_diff(const std::string& path_a, const std::string& path_b) {
+  auto load = [](const std::string& path)
+      -> std::optional<std::map<std::string, std::uint64_t>> {
+    auto text = read_file(path);
+    if (!text) return std::nullopt;
+    std::map<std::string, std::uint64_t> out;
+    try {
+      obs::Json doc = obs::Json::parse(*text);
+      DISCS_CHECK_MSG(doc.get("schema").as_string() == "discs.counters.v1",
+                      "not a discs.counters.v1 dump");
+      for (const auto& [name, v] : doc.get("counters").as_object())
+        out.emplace(name, v.as_uint());
+    } catch (const CheckFailure& e) {
+      std::cerr << path << ": " << e.what() << "\n";
+      return std::nullopt;
+    }
+    return out;
+  };
+  auto a = load(path_a);
+  if (!a) return 1;
+  auto b = load(path_b);
+  if (!b) return 1;
+
+  // Only changed families are printed; absent == 0 on either side.
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"counter", "A", "B", "delta"});
+  std::set<std::string> names;
+  for (const auto& [name, v] : *a) names.insert(name);
+  for (const auto& [name, v] : *b) names.insert(name);
+  for (const auto& name : names) {
+    auto ia = a->find(name);
+    auto ib = b->find(name);
+    std::uint64_t va = ia == a->end() ? 0 : ia->second;
+    std::uint64_t vb = ib == b->end() ? 0 : ib->second;
+    if (va == vb) continue;
+    std::string delta =
+        vb >= va ? cat("+", vb - va) : cat("-", va - vb);
+    rows.push_back({name, cat(va), cat(vb), delta});
+  }
+  if (rows.size() == 1) {
+    std::cout << "no counter differences\n";
+    return 0;
+  }
+  std::cout << ascii_table(rows);
   return 0;
 }
 
@@ -373,8 +574,16 @@ int main(int argc, char** argv) {
   if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage();
 
   if (cmd == "export") {
-    if (args.size() != 4) return usage();
-    return cmd_export(args[1], args[2], args[3]);
+    bool spans = false;
+    std::vector<std::string> rest;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--spans")
+        spans = true;
+      else
+        rest.push_back(args[i]);
+    }
+    if (rest.size() != 3) return usage();
+    return cmd_export(rest[0], rest[1], rest[2], spans);
   }
   if (cmd == "inspect") {
     if (args.size() < 2) return usage();
@@ -398,17 +607,41 @@ int main(int argc, char** argv) {
     if (args.size() != 2) return usage();
     return cmd_check(args[1]);
   }
+  if (cmd == "spans") {
+    if (args.size() != 2) return usage();
+    return cmd_spans(args[1]);
+  }
+  if (cmd == "critpath") {
+    if (args.size() != 2 && args.size() != 4) return usage();
+    std::optional<std::uint64_t> tx;
+    if (args.size() == 4) {
+      if (args[2] != "--tx") return usage();
+      tx = std::stoull(args[3]);
+    }
+    return cmd_critpath(args[1], tx);
+  }
+  if (cmd == "hist") {
+    if (args.size() != 2) return usage();
+    return cmd_hist(args[1]);
+  }
   if (cmd == "counters") {
+    if (args.size() == 4 && args[1] == "--diff")
+      return cmd_counters_diff(args[2], args[3]);
     bool robust = false;
+    std::optional<std::string> out_path;
     std::vector<std::string> rest;
     for (std::size_t i = 1; i < args.size(); ++i) {
-      if (args[i] == "--robust")
+      if (args[i] == "--robust") {
         robust = true;
-      else
+      } else if (args[i] == "--out") {
+        if (i + 1 >= args.size()) return usage();
+        out_path = args[++i];
+      } else {
         rest.push_back(args[i]);
+      }
     }
     if (rest.size() != 2) return usage();
-    return cmd_counters(rest[0], rest[1], robust);
+    return cmd_counters(rest[0], rest[1], robust, out_path);
   }
   if (cmd == "run") {
     return cmd_run(args.size() > 1 ? args[1] : "cops-snow",

@@ -21,35 +21,18 @@ bool is_server(const ClusterView& view, ProcessId p) {
   return false;
 }
 
-/// Does this payload belong to read transaction `tx` as a client request?
-bool part_is_rot_request(const sim::Payload& p, TxId tx) {
-  if (const auto* r = dynamic_cast<const RotRequest*>(&p)) return r->tx == tx;
-  if (const auto* r = dynamic_cast<const SnapshotRequest*>(&p))
-    return r->tx == tx;
-  if (const auto* r = dynamic_cast<const TxStatusQuery*>(&p))
-    return r->reader == tx;
-  return false;
-}
-
+// Request/reply attribution delegates to the shared proto::rot_request_tx /
+// rot_reply_tx helpers so the live audit, the span hooks and the trace
+// exporter's cause annotations can never drift apart.
 bool is_rot_request(const Message& m, TxId tx) {
   for (const auto& part : sim::payload_parts(m))
-    if (part_is_rot_request(*part, tx)) return true;
-  return false;
-}
-
-/// Does this payload belong to read transaction `tx` as a server reply?
-bool part_is_rot_reply(const sim::Payload& p, TxId tx) {
-  if (const auto* r = dynamic_cast<const RotReply*>(&p)) return r->tx == tx;
-  if (const auto* r = dynamic_cast<const SnapshotReply*>(&p))
-    return r->tx == tx;
-  if (const auto* r = dynamic_cast<const TxStatusReply*>(&p))
-    return r->reader == tx;
+    if (rot_request_tx(*part) == tx) return true;
   return false;
 }
 
 bool is_rot_reply(const Message& m, TxId tx) {
   for (const auto& part : sim::payload_parts(m))
-    if (part_is_rot_reply(*part, tx)) return true;
+    if (rot_reply_tx(*part) == tx) return true;
   return false;
 }
 

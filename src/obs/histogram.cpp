@@ -1,0 +1,107 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/fmt.h"
+
+namespace discs::obs {
+
+namespace {
+constexpr std::uint64_t kSub = 1ull << Histogram::kSubBits;
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSub) return static_cast<std::size_t>(value);
+  // h = position of the top set bit (>= kSubBits); the next kSubBits bits
+  // below it select the sub-bucket.
+  int h = std::bit_width(value) - 1;
+  std::uint64_t sub = (value >> (h - kSubBits)) & (kSub - 1);
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(h - kSubBits + 1) << kSubBits) | sub);
+}
+
+std::uint64_t Histogram::bucket_low(std::size_t index) {
+  std::uint64_t major = index >> kSubBits;
+  std::uint64_t sub = index & (kSub - 1);
+  if (major == 0) return sub;
+  int h = static_cast<int>(major) + kSubBits - 1;
+  return (1ull << h) | (sub << (h - kSubBits));
+}
+
+std::uint64_t Histogram::bucket_width(std::size_t index) {
+  std::uint64_t major = index >> kSubBits;
+  if (major == 0) return 1;
+  return 1ull << (static_cast<int>(major) - 1);
+}
+
+void Histogram::record(std::uint64_t value) {
+  std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank over buckets: the sample at (0-based) rank q*(count-1).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      // Bucket midpoint, clamped into the observed range so single-sample
+      // and single-bucket histograms report exact values.
+      double mid = static_cast<double>(bucket_low(i)) +
+                   static_cast<double>(bucket_width(i) - 1) / 2.0;
+      return std::clamp(mid, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::str() const {
+  std::ostringstream os;
+  os << "count=" << count_;
+  if (count_ > 0)
+    os << " mean=" << fixed(mean(), 1) << " p50=" << fixed(p50(), 1)
+       << " p95=" << fixed(p95(), 1) << " p99=" << fixed(p99(), 1)
+       << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace discs::obs

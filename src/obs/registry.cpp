@@ -38,15 +38,30 @@ double Registry::gauge(std::string_view name) const {
                              : it->second;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  return it->second;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void Registry::reset() {
   for (auto& [name, v] : counters_) v = 0;
   gauges_.clear();
+  for (auto& [name, h] : histograms_) h.reset();
 }
 
 void Registry::absorb(const Registry& other) {
   for (const auto& [name, v] : other.counters_)
     if (v != 0) counter(name) += v;
   for (const auto& [name, v] : other.gauges_) set_gauge(name, v);
+  for (const auto& [name, h] : other.histograms_)
+    if (h.count() > 0) histogram(name).merge(h);
 }
 
 std::uint64_t& CounterFamily::at(std::string_view suffix) {
@@ -82,6 +97,14 @@ std::map<std::string, double> Registry::gauges(std::string_view prefix) const {
   return out;
 }
 
+std::map<std::string, Histogram> Registry::histograms(
+    std::string_view prefix) const {
+  std::map<std::string, Histogram> out;
+  for (const auto& [name, h] : histograms_)
+    if (has_prefix(name, prefix)) out.emplace(name, h);
+  return out;
+}
+
 std::string Registry::table(std::string_view prefix) const {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"counter", "value"});
@@ -89,6 +112,8 @@ std::string Registry::table(std::string_view prefix) const {
     rows.push_back({name, cat(v)});
   for (const auto& [name, v] : gauges(prefix))
     rows.push_back({name + " (gauge)", fixed(v, 2)});
+  for (const auto& [name, h] : histograms(prefix))
+    rows.push_back({name + " (hist)", h.str()});
   return ascii_table(rows);
 }
 

@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace discs::obs {
 
 class Registry {
@@ -50,15 +52,24 @@ class Registry {
   /// Current gauge value; NaN if the gauge was never set.
   double gauge(std::string_view name) const;
 
-  /// Zeroes all counters and clears all gauges, keeping counter nodes (and
-  /// therefore cached references) alive.
+  /// Stable reference to a histogram, created empty on first use.  Same
+  /// contract as counter(): the reference stays valid (and is emptied, not
+  /// invalidated) across reset(), so hot paths may cache it.
+  Histogram& histogram(std::string_view name);
+  /// The named histogram, or nullptr if never touched.
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Zeroes all counters, clears all gauges and empties all histograms,
+  /// keeping counter/histogram nodes (and therefore cached references)
+  /// alive.
   void reset();
 
   /// Adds every counter of `other` into this registry (creating nodes as
-  /// needed) and overwrites gauges with `other`'s values.  `discs::par`
-  /// uses this to fold worker-thread registries into the caller's registry
-  /// at the parallel_for join, so counts from Monte-Carlo fuzz runs are
-  /// observable without cross-thread contention during the run itself.
+  /// needed), overwrites gauges with `other`'s values and merges
+  /// histograms bucket-wise.  `discs::par` uses this to fold worker-thread
+  /// registries into the caller's registry at the parallel_for join, so
+  /// counts from Monte-Carlo fuzz runs are observable without cross-thread
+  /// contention during the run itself.
   void absorb(const Registry& other);
 
   /// Counters whose name starts with `prefix` (all when empty), sorted by
@@ -66,15 +77,18 @@ class Registry {
   std::map<std::string, std::uint64_t> counters(
       std::string_view prefix = "") const;
   std::map<std::string, double> gauges(std::string_view prefix = "") const;
+  std::map<std::string, Histogram> histograms(
+      std::string_view prefix = "") const;
 
-  /// `name | value` ASCII table of counters under `prefix` (then gauges,
-  /// if any), ready for bench output.
+  /// `name | value` ASCII table of counters under `prefix` (then gauges
+  /// and histogram summaries, if any), ready for bench output.
   std::string table(std::string_view prefix = "") const;
 
  private:
   // node-based maps: stable element addresses across insertions.
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 /// A family of counters sharing a prefix, keyed by a short dynamic suffix

@@ -1,0 +1,33 @@
+#include "obs/span.h"
+
+#include "util/check.h"
+
+namespace discs::obs {
+
+SpanLog& SpanLog::global() {
+  static thread_local SpanLog log;
+  return log;
+}
+
+std::string_view span_kind_str(SpanNote::Kind kind) {
+  switch (kind) {
+    case SpanNote::Kind::kTxBegin: return "tx_begin";
+    case SpanNote::Kind::kRound: return "round";
+    case SpanNote::Kind::kTxEnd: return "tx_end";
+    case SpanNote::Kind::kServerRecv: return "server_recv";
+    case SpanNote::Kind::kServerReply: return "server_reply";
+  }
+  return "?";
+}
+
+SpanNote::Kind span_kind_from(std::string_view name) {
+  if (name == "tx_begin") return SpanNote::Kind::kTxBegin;
+  if (name == "round") return SpanNote::Kind::kRound;
+  if (name == "tx_end") return SpanNote::Kind::kTxEnd;
+  if (name == "server_recv") return SpanNote::Kind::kServerRecv;
+  if (name == "server_reply") return SpanNote::Kind::kServerReply;
+  DISCS_CHECK_MSG(false, "unknown span kind '" << name << "'");
+  return SpanNote::Kind::kTxBegin;
+}
+
+}  // namespace discs::obs

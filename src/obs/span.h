@@ -1,0 +1,63 @@
+// Causal span notes — the live half of the span profiler.
+//
+// When ClusterConfig::record_spans is on, the common client/server bases
+// (proto::ClientBase / proto::ServerBase) append one SpanNote per
+// profiling-relevant moment of every transaction to the thread-local
+// SpanLog: transaction begin/end on the client, one note per request wave
+// (child span), and server-side receive/reply marks.  `at` is the event
+// sequence number (StepContext::now()), so notes are positions in the
+// recorded trace, not wall-clock times — replaying a trace regenerates the
+// identical notes, which is what keeps span-carrying artifacts inside the
+// byte-exact round-trip guarantee (docs/TRACING.md).
+//
+// Like the counter registry, the log is thread-local and does NOT branch
+// with configuration snapshots: it is meaningful for linear executions
+// (capture, replay, workload profiling), not for the induction driver's
+// branching probes.  Protocol::build clears it when record_spans is set,
+// so one capture's notes never leak into the next.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace discs::obs {
+
+struct SpanNote {
+  enum class Kind {
+    kTxBegin,      ///< client's first step on the transaction
+    kRound,        ///< client step sending >= 1 ROT request to a server
+    kTxEnd,        ///< client step completing the transaction
+    kServerRecv,   ///< server step consuming a ROT request
+    kServerReply,  ///< server step sending a ROT reply
+  };
+
+  Kind kind{};
+  std::uint64_t tx = 0;    ///< TxId value
+  std::uint64_t proc = 0;  ///< emitting process
+  std::uint64_t at = 0;    ///< event seq of the emitting step
+  /// kRound: 1-based wave index; kTxEnd: total waves used; else 0.
+  std::uint64_t round = 0;
+
+  friend bool operator==(const SpanNote&, const SpanNote&) = default;
+};
+
+/// Wire names used by the trace exporter ("tx_begin", "round", ...).
+std::string_view span_kind_str(SpanNote::Kind kind);
+/// Inverse of span_kind_str; throws CheckFailure on unknown names.
+SpanNote::Kind span_kind_from(std::string_view name);
+
+class SpanLog {
+ public:
+  /// The calling thread's span log (same discipline as Registry::global).
+  static SpanLog& global();
+
+  void clear() { notes_.clear(); }
+  void note(const SpanNote& n) { notes_.push_back(n); }
+  const std::vector<SpanNote>& notes() const { return notes_; }
+
+ private:
+  std::vector<SpanNote> notes_;
+};
+
+}  // namespace discs::obs

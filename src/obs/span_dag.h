@@ -1,0 +1,132 @@
+// Offline causal analysis of span-annotated trace artifacts.
+//
+// A document captured with ClusterConfig::record_spans carries, per message,
+// which read-only transactions it requests for / replies to (attributed per
+// payload part by the shared proto::rot_request_tx/rot_reply_tx).  SpanDag
+// rebuilds the happens-before structure from those annotations plus the
+// event stream alone — no live simulation, no protocol code — and offers:
+//
+//   profile(tx)        re-derives the Table-1 read metrics (R rounds,
+//                      V values, N nonblocking, foreign leaks, reply bytes)
+//                      for one ROT; field-for-field comparable with what
+//                      imposs::audit_rot measured live, which the test
+//                      suite pins for every registry protocol;
+//   critical_path(tx)  walks the reply chain backwards from completion and
+//                      tiles the transaction's whole latency window into
+//                      attributed segments: client think/finish time,
+//                      request/reply network flight, server queueing and
+//                      server service (a positive service segment spanning
+//                      multiple events is a blocked — non-N — server).
+//
+// Segments partition [invoke, complete) exactly: their lengths always sum
+// to the transaction's end-to-end latency in event-sequence units.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace_io.h"
+
+namespace discs::obs {
+
+enum class SegmentKind {
+  kClientThink,    ///< client-side work before (re-)sending requests
+  kNetRequest,     ///< request in flight, client -> server
+  kServerQueue,    ///< request delivered but not yet consumed
+  kServerService,  ///< consumed to reply-sent (multi-event = blocking wait)
+  kNetReply,       ///< reply in flight, server -> client
+  kClientFinish,   ///< last reply delivered to completion
+};
+
+std::string_view segment_kind_str(SegmentKind kind);
+
+/// One attributed slice [from, to) of a transaction's latency window, in
+/// event-sequence units.
+struct Segment {
+  SegmentKind kind{};
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  /// The server involved (queue/service/flight segments) or the client.
+  ProcessId process;
+
+  std::uint64_t length() const { return to - from; }
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+struct CriticalPath {
+  TxId tx;
+  std::uint64_t begin = 0;  ///< invoke seq
+  std::uint64_t end = 0;    ///< complete seq
+  std::vector<Segment> segments;  ///< tiles [begin, end), in time order
+
+  std::uint64_t latency() const { return end - begin; }
+  /// Summed length of all segments of `kind`.
+  std::uint64_t total(SegmentKind kind) const;
+  std::string summary() const;
+};
+
+/// Table-1 read metrics re-derived offline from the artifact.  Mirrors
+/// imposs::RotAudit field for field (kept separate so the trace layer does
+/// not depend on src/impossibility).
+struct RotProfile {
+  TxId tx;
+  std::size_t rounds = 0;
+  bool nonblocking = true;
+  std::size_t deferred_replies = 0;
+  std::size_t max_values_per_message = 0;
+  std::size_t max_values_per_object = 0;
+  bool leaked_foreign_values = false;
+  bool single_server_per_object = true;
+  std::uint64_t reply_bytes = 0;
+  bool one_round = false;
+  bool one_value = false;
+};
+
+class SpanDag {
+ public:
+  /// Requires doc.cluster.record_spans (the annotations ARE the input).
+  /// Keeps a reference to `doc`; the document must outlive the dag.
+  explicit SpanDag(const TraceDoc& doc);
+
+  struct TxInfo {
+    TxId id;
+    ProcessId client;
+    bool read_only = false;
+    bool completed = false;
+    std::uint64_t invoke_seq = 0;
+    std::uint64_t complete_seq = 0;
+  };
+
+  /// All transactions of the document's history, in recorded order.
+  const std::vector<TxInfo>& transactions() const { return txs_; }
+  /// Completed read-only transactions (the profilable ones).
+  std::vector<TxInfo> completed_rots() const;
+
+  RotProfile profile(TxId tx) const;
+  CriticalPath critical_path(TxId tx) const;
+
+ private:
+  struct MsgTimes {
+    ProcessId src;
+    ProcessId dst;
+    const ExportedMessage* msg = nullptr;  ///< first occurrence (for tags)
+    std::optional<std::uint64_t> sent_at;
+    std::optional<std::uint64_t> delivered_at;
+    std::optional<std::uint64_t> consumed_at;
+  };
+
+  const TxInfo& info(TxId tx) const;
+  bool is_server(ProcessId p) const;
+
+  const TraceDoc& doc_;
+  proto::ClusterView view_;
+  std::vector<TxInfo> txs_;
+  std::map<std::uint64_t, MsgTimes> msgs_;  ///< message id -> lifecycle
+};
+
+}  // namespace discs::obs

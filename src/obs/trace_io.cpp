@@ -19,7 +19,7 @@ using discs::proto::ClusterConfig;
 using discs::proto::IdSource;
 using discs::proto::TxSpec;
 
-ExportedMessage ExportedMessage::from(const sim::Message& m) {
+ExportedMessage ExportedMessage::from(const sim::Message& m, bool spans) {
   ExportedMessage out;
   out.id = m.id;
   out.src = m.src;
@@ -29,6 +29,34 @@ ExportedMessage ExportedMessage::from(const sim::Message& m) {
     out.desc = m.payload->describe();
     out.values = m.payload->values_carried();
     out.bytes = m.payload->byte_size();
+  }
+  if (!spans || !m.payload) return out;
+
+  // Cause annotations: attribute each payload part to the ROT it serves,
+  // with the same shared helpers (and the same SessionEnvelope blindness)
+  // as imposs::audit_rot.
+  auto push_once = [](std::vector<std::uint64_t>& v, std::uint64_t x) {
+    if (std::find(v.begin(), v.end(), x) == v.end()) v.push_back(x);
+  };
+  for (const auto& part : sim::payload_parts(m)) {
+    if (TxId tx = proto::rot_request_tx(*part); tx.valid()) {
+      push_once(out.req_txs, tx.value());
+      if (const auto* r = dynamic_cast<const proto::RotRequest*>(part.get()))
+        for (auto obj : r->objects)
+          out.req_objs.emplace_back(tx.value(), obj.value());
+    }
+    if (TxId tx = proto::rot_reply_tx(*part); tx.valid()) {
+      push_once(out.rep_txs, tx.value());
+      if (const auto* r = dynamic_cast<const proto::RotReply*>(part.get())) {
+        auto note = [&](ObjectId obj, ValueId v) {
+          if (v.valid())
+            out.reads.push_back({tx.value(), obj.value(), v.value()});
+        };
+        for (const auto& item : r->items) note(item.object, item.value);
+        for (const auto& item : r->extras) note(item.object, item.value);
+        for (const auto& p : r->pendings) note(p.object, p.value);
+      }
+    }
   }
   return out;
 }
@@ -47,14 +75,16 @@ TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
               return a.at != b.at ? a.at < b.at
                                   : a.spec.id.value() < b.spec.id.value();
             });
+  const bool spans = cfg.record_spans;
   bool any_fault = false;
   for (const auto& rec : sim.trace().records()) {
     ExportedEvent e;
     e.event = rec.event;
     e.seq = rec.seq;
     for (const auto& m : rec.consumed)
-      e.consumed.push_back(ExportedMessage::from(m));
-    for (const auto& m : rec.sent) e.sent.push_back(ExportedMessage::from(m));
+      e.consumed.push_back(ExportedMessage::from(m, spans));
+    for (const auto& m : rec.sent)
+      e.sent.push_back(ExportedMessage::from(m, spans));
     switch (rec.event.kind) {
       case sim::Event::Kind::kStep:
         break;
@@ -62,7 +92,7 @@ TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
       case sim::Event::Kind::kDrop:
       case sim::Event::Kind::kDuplicate:
       case sim::Event::Kind::kRetransmit:
-        e.delivered = ExportedMessage::from(rec.delivered);
+        e.delivered = ExportedMessage::from(rec.delivered, spans);
         any_fault |= rec.event.kind != sim::Event::Kind::kDeliver;
         break;
       case sim::Event::Kind::kCrash:
@@ -76,6 +106,7 @@ TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
   // what a v1 exporter wrote (see trace_io.h).
   doc.schema = any_fault ? std::string(kTraceSchemaV2)
                          : std::string(kTraceSchema);
+  if (spans) doc.spans = SpanLog::global().notes();
   doc.history = proto::collect_history(sim, cluster.clients,
                                        cluster.initial_values);
   doc.final_digest = sim.digest();
@@ -89,13 +120,39 @@ namespace {
 Json msg_json(const ExportedMessage& m) {
   JsonArray values;
   for (auto v : m.values) values.push_back(Json(v.value()));
-  return Json(JsonObject{{"id", Json(m.id.value())},
-                         {"src", Json(m.src.value())},
-                         {"dst", Json(m.dst.value())},
-                         {"kind", Json(m.kind)},
-                         {"desc", Json(m.desc)},
-                         {"values", Json(std::move(values))},
-                         {"bytes", Json(m.bytes)}});
+  JsonObject obj{{"id", Json(m.id.value())},
+                 {"src", Json(m.src.value())},
+                 {"dst", Json(m.dst.value())},
+                 {"kind", Json(m.kind)},
+                 {"desc", Json(m.desc)},
+                 {"values", Json(std::move(values))},
+                 {"bytes", Json(m.bytes)}};
+  // Cause annotations are optional fields: emitted only when non-empty
+  // (i.e. only in record_spans captures), so span-free artifacts keep
+  // their exact bytes.
+  if (!m.req_txs.empty()) {
+    JsonArray a;
+    for (auto tx : m.req_txs) a.push_back(Json(tx));
+    obj.emplace_back("rotreq", Json(std::move(a)));
+  }
+  if (!m.rep_txs.empty()) {
+    JsonArray a;
+    for (auto tx : m.rep_txs) a.push_back(Json(tx));
+    obj.emplace_back("rotrep", Json(std::move(a)));
+  }
+  if (!m.req_objs.empty()) {
+    JsonArray a;
+    for (const auto& [tx, o] : m.req_objs)
+      a.push_back(Json(JsonArray{Json(tx), Json(o)}));
+    obj.emplace_back("rotobjs", Json(std::move(a)));
+  }
+  if (!m.reads.empty()) {
+    JsonArray a;
+    for (const auto& r : m.reads)
+      a.push_back(Json(JsonArray{Json(r[0]), Json(r[1]), Json(r[2])}));
+    obj.emplace_back("rotvals", Json(std::move(a)));
+  }
+  return Json(std::move(obj));
 }
 
 ExportedMessage msg_from_json(const Json& j) {
@@ -108,6 +165,22 @@ ExportedMessage msg_from_json(const Json& j) {
   for (const auto& v : j.get("values").as_array())
     m.values.push_back(ValueId(v.as_uint()));
   m.bytes = j.get("bytes").as_uint();
+  if (const Json* a = j.find("rotreq"))
+    for (const auto& tx : a->as_array()) m.req_txs.push_back(tx.as_uint());
+  if (const Json* a = j.find("rotrep"))
+    for (const auto& tx : a->as_array()) m.rep_txs.push_back(tx.as_uint());
+  if (const Json* a = j.find("rotobjs"))
+    for (const auto& pair : a->as_array()) {
+      const auto& kv = pair.as_array();
+      DISCS_CHECK_MSG(kv.size() == 2, "trace: malformed rotobjs pair");
+      m.req_objs.emplace_back(kv[0].as_uint(), kv[1].as_uint());
+    }
+  if (const Json* a = j.find("rotvals"))
+    for (const auto& triple : a->as_array()) {
+      const auto& kv = triple.as_array();
+      DISCS_CHECK_MSG(kv.size() == 3, "trace: malformed rotvals triple");
+      m.reads.push_back({kv[0].as_uint(), kv[1].as_uint(), kv[2].as_uint()});
+    }
   return m;
 }
 
@@ -156,6 +229,8 @@ Json header_json(const TraceDoc& doc) {
         "journal_compact_threshold",
         Json(std::uint64_t(doc.cluster.journal_compact_threshold)));
   }
+  if (doc.cluster.record_spans)
+    cluster.emplace_back("record_spans", Json(true));
   return Json(JsonObject{
       {"record", Json("header")},
       {"schema", Json(doc.schema)},
@@ -261,6 +336,16 @@ std::string export_jsonl(const TraceDoc& doc) {
     out += event_json(e).dump();
     out += '\n';
   }
+  for (const auto& s : doc.spans) {
+    out += Json(JsonObject{{"record", Json("span")},
+                           {"kind", Json(std::string(span_kind_str(s.kind)))},
+                           {"tx", Json(s.tx)},
+                           {"proc", Json(s.proc)},
+                           {"at", Json(s.at)},
+                           {"round", Json(s.round)}})
+               .dump();
+    out += '\n';
+  }
   for (const auto& t : doc.history.txs()) {
     out += tx_json(t).dump();
     out += '\n';
@@ -318,6 +403,8 @@ TraceDoc import_jsonl(std::string_view text) {
         doc.cluster.durable_journal = dj->as_bool();
       if (const Json* th = c.find("journal_compact_threshold"))
         doc.cluster.journal_compact_threshold = th->as_uint();
+      if (const Json* rs = c.find("record_spans"))
+        doc.cluster.record_spans = rs->as_bool();
       for (const auto& pair : j.get("initial").as_array()) {
         const auto& kv = pair.as_array();
         DISCS_CHECK_MSG(kv.size() == 2, "trace: malformed initial pair");
@@ -373,6 +460,16 @@ TraceDoc import_jsonl(std::string_view text) {
       DISCS_CHECK_MSG(e.seq == doc.events.size(),
                       "trace: event seq " << e.seq << " out of order");
       doc.events.push_back(std::move(e));
+    } else if (record == "span") {
+      DISCS_CHECK_MSG(doc.cluster.record_spans,
+                      "trace: span record without record_spans in header");
+      SpanNote s;
+      s.kind = span_kind_from(j.get("kind").as_string());
+      s.tx = j.get("tx").as_uint();
+      s.proc = j.get("proc").as_uint();
+      s.at = j.get("at").as_uint();
+      s.round = j.get("round").as_uint();
+      doc.spans.push_back(s);
     } else if (record == "tx") {
       doc.history.add(tx_from_json(j));
     } else if (record == "footer") {
@@ -615,6 +712,22 @@ TraceDoc capture_faulted(const proto::Protocol& protocol,
                                                 : options.plan.name.c_str());
   return make_doc(protocol, std::move(scenario), options.cluster, cap.sim,
                   cap.cluster, std::move(cap.invokes));
+}
+
+WorkloadCapture capture_workload(const proto::Protocol& protocol,
+                                 const WorkloadCaptureOptions& options) {
+  WorkloadCapture out;
+  sim::Simulation sim;
+  IdSource ids;
+  Cluster cluster = protocol.build(sim, options.cluster, ids);
+  out.result = wl::run_workload_sequential(sim, protocol, cluster, ids,
+                                           options.workload);
+  std::vector<InvokeRecord> invokes;
+  for (const auto& w : out.result.windows)
+    invokes.push_back({w.invoked_at, w.client, w.spec});
+  out.doc = make_doc(protocol, cat("workload:seed", options.workload.seed),
+                     options.cluster, sim, cluster, std::move(invokes));
+  return out;
 }
 
 }  // namespace discs::obs

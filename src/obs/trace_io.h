@@ -22,6 +22,7 @@
 // documents the schema and its versioning policy.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -31,9 +32,11 @@
 
 #include "fault/plan.h"
 #include "history/history.h"
+#include "obs/span.h"
 #include "proto/common/cluster.h"
 #include "proto/common/tx.h"
 #include "sim/simulation.h"
+#include "workload/workload.h"
 
 namespace discs::obs {
 
@@ -58,7 +61,21 @@ struct ExportedMessage {
   std::vector<ValueId> values;  ///< Payload::values_carried()
   std::uint64_t bytes = 0;      ///< Payload::byte_size()
 
-  static ExportedMessage from(const sim::Message& m);
+  /// Cause annotations, recorded only under ClusterConfig::record_spans and
+  /// serialized only when non-empty (optional fields per the TRACING.md
+  /// policy, so span-free artifacts keep their exact bytes).  Attribution is
+  /// per payload *part* via the shared proto::rot_request_tx/rot_reply_tx,
+  /// so a batched message serving several transactions stays separable
+  /// offline — exactly what obs::SpanDag needs to re-derive Table 1.
+  std::vector<std::uint64_t> req_txs;  ///< ROTs this message requests for
+  std::vector<std::uint64_t> rep_txs;  ///< ROTs this message replies to
+  /// Objects requested per ROT: [tx, object] pairs from RotRequest parts.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> req_objs;
+  /// Valid values returned per ROT: [tx, object, value] triples from
+  /// RotReply items/extras/pendings.
+  std::vector<std::array<std::uint64_t, 3>> reads;
+
+  static ExportedMessage from(const sim::Message& m, bool spans = false);
 
   friend bool operator==(const ExportedMessage&,
                          const ExportedMessage&) = default;
@@ -92,6 +109,9 @@ struct TraceDoc {
   std::map<ObjectId, ValueId> initial;
   std::vector<InvokeRecord> invokes;
   std::vector<ExportedEvent> events;
+  /// Span notes captured from the thread-local SpanLog; present only when
+  /// cluster.record_spans (span records are rejected without the flag).
+  std::vector<SpanNote> spans;
   hist::History history;
   std::string final_digest;
 };
@@ -158,5 +178,24 @@ struct FaultedCaptureOptions {
 /// discs.trace.v2 whenever at least one fault actually fired.
 TraceDoc capture_faulted(const proto::Protocol& protocol,
                          const FaultedCaptureOptions& options);
+
+struct WorkloadCaptureOptions {
+  proto::ClusterConfig cluster;
+  wl::WorkloadConfig workload;
+};
+
+struct WorkloadCapture {
+  TraceDoc doc;
+  /// Per-transaction windows from the driver, for callers that want to
+  /// cross-check the artifact against live measurements.
+  wl::WorkloadResult result;
+};
+
+/// Runs wl::run_workload_sequential and captures the execution as an
+/// artifact.  With options.cluster.record_spans the document carries span
+/// notes and per-message cause annotations, making it profilable by
+/// obs::SpanDag.
+WorkloadCapture capture_workload(const proto::Protocol& protocol,
+                                 const WorkloadCaptureOptions& options);
 
 }  // namespace discs::obs

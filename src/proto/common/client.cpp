@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "util/check.h"
 #include "util/fmt.h"
 
@@ -32,6 +33,7 @@ void ClientBase::invoke(const TxSpec& spec) {
   stall_steps_ = 0;
   backoff_attempt_ = 0;
   tx_sends_.clear();
+  span_waves_ = 0;
   obs::Registry::global().inc(spec.read_only() ? "client.invoke.read"
                                                : "client.invoke.write");
 }
@@ -55,6 +57,10 @@ void ClientBase::on_step(sim::StepContext& ctx,
   if (active_ && !started_) {
     started_ = true;
     invoke_seq_ = ctx.now();
+    if (view_.record_spans)
+      obs::SpanLog::global().note({obs::SpanNote::Kind::kTxBegin,
+                                   active_->id.value(), id().value(),
+                                   ctx.now(), 0});
     start_tx(ctx, *active_);
   } else if (!active_) {
     on_idle_step(ctx);
@@ -67,6 +73,23 @@ void ClientBase::on_step(sim::StepContext& ctx,
   for (const auto& [dst, payload] : ctx.outgoing()) {
     if (const auto* req = dynamic_cast<const RotRequest*>(payload.get()))
       max_rot_round_ = std::max(max_rot_round_, req->round);
+  }
+
+  // Span hook: a step that sends at least one ROT request message to a
+  // server is one request wave of the active transaction — the same rule
+  // imposs::audit_rot uses to count R, applied via the shared
+  // rot_request_tx attribution.  Also before the wrap pass.
+  if (view_.record_spans && active_ && started_) {
+    bool wave = false;
+    for (const auto& [dst, payload] : ctx.outgoing()) {
+      if (rot_request_tx(*payload) != active_->id) continue;
+      for (auto s : view_.servers)
+        if (s == dst) wave = true;
+    }
+    if (wave)
+      obs::SpanLog::global().note({obs::SpanNote::Kind::kRound,
+                                   active_->id.value(), id().value(),
+                                   ctx.now(), ++span_waves_});
   }
 
   // Exactly-once session layer: stamp this step's fresh requests with
@@ -161,17 +184,27 @@ void ClientBase::complete_active(sim::StepContext& ctx) {
 
   auto& reg = obs::Registry::global();
   reg.inc("client.tx.completed");
+  // Latency in event-sequence units (the simulator's logical time); the
+  // histograms are always on, the span notes only under record_spans.
+  std::uint64_t latency = ctx.now() - invoke_seq_;
+  reg.histogram("client.tx.latency_events").record(latency);
   if (active_->read_only()) {
     reg.inc("client.rot.completed");
+    reg.histogram("client.rot.latency_events").record(latency);
     if (max_rot_round_ > 0)
       reg.inc("client.rot.rounds",
               static_cast<std::uint64_t>(max_rot_round_));
   }
+  if (view_.record_spans)
+    obs::SpanLog::global().note({obs::SpanNote::Kind::kTxEnd,
+                                 active_->id.value(), id().value(),
+                                 ctx.now(), span_waves_});
 
   completed_[active_->id] = read_results_;
   active_.reset();
   started_ = false;
   max_rot_round_ = 0;
+  span_waves_ = 0;
   read_results_.clear();
   // Done path resets ALL retransmit/backoff state: a stall accumulated at
   // the end of one transaction must not leak a head start (or an inflated

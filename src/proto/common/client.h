@@ -96,6 +96,10 @@ class ClientBase : public sim::Process {
   bool started_ = false;
   std::uint64_t invoke_seq_ = 0;
   int max_rot_round_ = 0;  ///< highest RotRequest round sent for active tx
+  /// Request waves noted for the active transaction (view_.record_spans
+  /// only).  Not part of state_digest: span recording must not perturb
+  /// digests.
+  std::size_t span_waves_ = 0;
   std::map<ObjectId, ValueId> read_results_;
   std::map<TxId, std::map<ObjectId, ValueId>> completed_;
   hist::History history_;

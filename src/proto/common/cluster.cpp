@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
 #include "proto/common/server.h"
 #include "util/check.h"
 
@@ -64,6 +65,7 @@ ClusterView make_view(const ClusterConfig& cfg, ProcessId first_server) {
   view.exactly_once = cfg.exactly_once;
   view.durable_journal = cfg.durable_journal;
   view.journal_compact_threshold = cfg.journal_compact_threshold;
+  view.record_spans = cfg.record_spans;
   for (std::size_t s = 0; s < cfg.num_servers; ++s)
     view.servers.push_back(ProcessId(first_server.value() + s));
   for (std::size_t o = 0; o < cfg.num_objects; ++o) {
@@ -88,6 +90,10 @@ Cluster Protocol::build(sim::Simulation& sim, const ClusterConfig& cfg,
                         IdSource& ids) const {
   Cluster cluster;
   cluster.view = make_view(cfg, sim.next_process_id());
+
+  // A span-recording run owns the thread-local log for its lifetime;
+  // leftovers from a previous capture on this thread would corrupt it.
+  if (cfg.record_spans) obs::SpanLog::global().clear();
 
   for (auto sid : cluster.view.servers) {
     DISCS_CHECK(sid == sim.next_process_id());

@@ -31,6 +31,11 @@ struct ClusterView {
   bool exactly_once = false;    ///< session envelopes + server dedup
   bool durable_journal = false; ///< write-ahead journal survives lossy crash
   std::size_t journal_compact_threshold = 256;
+  /// Span/cause annotations (obs/span.h): ClientBase and ServerBase note tx
+  /// begin/round/end and server recv/reply moments into the thread-local
+  /// SpanLog as they step.  Off by default: notes cost time and the trace
+  /// exporter only emits span records when this is set.
+  bool record_spans = false;
 
   ProcessId primary(ObjectId obj) const;
   const std::vector<ProcessId>& replicas(ObjectId obj) const;
@@ -65,6 +70,11 @@ struct ClusterConfig {
   bool durable_journal = false;
   /// Journal entries kept before compacting into a snapshot base.
   std::size_t journal_compact_threshold = 256;
+  /// Causal span profiling (obs/span.h): processes annotate transaction
+  /// begin/round/end and server recv/reply moments so traces can be
+  /// profiled offline (obs/span_dag.h).  Purely additive: simulation
+  /// behavior, digests and span-free trace bytes are unchanged.
+  bool record_spans = false;
 };
 
 /// Result of building a cluster into a simulation.

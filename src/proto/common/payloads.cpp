@@ -210,4 +210,20 @@ std::string TxStatusReply::describe() const {
              committed ? " committed@" : " pending@", commit_ts.str(), "}");
 }
 
+TxId rot_request_tx(const sim::Payload& p) {
+  if (const auto* r = dynamic_cast<const RotRequest*>(&p)) return r->tx;
+  if (const auto* r = dynamic_cast<const SnapshotRequest*>(&p)) return r->tx;
+  if (const auto* r = dynamic_cast<const TxStatusQuery*>(&p))
+    return r->reader;
+  return TxId::invalid();
+}
+
+TxId rot_reply_tx(const sim::Payload& p) {
+  if (const auto* r = dynamic_cast<const RotReply*>(&p)) return r->tx;
+  if (const auto* r = dynamic_cast<const SnapshotReply*>(&p)) return r->tx;
+  if (const auto* r = dynamic_cast<const TxStatusReply*>(&p))
+    return r->reader;
+  return TxId::invalid();
+}
+
 }  // namespace discs::proto

@@ -264,4 +264,17 @@ struct TxStatusReply : Payload {
   TxId tx_hint() const override { return wtx; }
 };
 
+/// The *reader* transaction `p` serves as one part of a client->server ROT
+/// request (RotRequest round waves, SnapshotRequest fetches, Eiger's
+/// TxStatusQuery probes), or TxId::invalid() when it is not ROT request
+/// traffic.  Distinct from tx_hint(): a TxStatusQuery's hint is the write
+/// transaction it asks about, while the ROT it serves is `reader`.  Shared
+/// by the live property monitors (imposs::audit_rot), the span hooks in
+/// ClientBase/ServerBase and the trace exporter's cause annotations, so all
+/// three attribute messages to transactions identically.
+TxId rot_request_tx(const sim::Payload& p);
+/// The reader transaction `p` answers as one part of a server->client ROT
+/// reply (RotReply, SnapshotReply, TxStatusReply), or TxId::invalid().
+TxId rot_reply_tx(const sim::Payload& p);
+
 }  // namespace discs::proto

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "util/check.h"
 
 namespace discs::proto {
@@ -109,7 +110,43 @@ void ServerBase::on_step(sim::StepContext& ctx,
       on_message(ctx, sub);
     }
   }
+
+  // Span hook: note which ROTs this step consumed a request for, attributed
+  // via the shared rot_request_tx over the *outer* payload parts — the same
+  // visibility imposs::audit_rot has (neither unwraps SessionEnvelope), so
+  // offline profiles agree with the live audit.  Deduped per step.
+  if (view_.record_spans) {
+    std::vector<std::uint64_t> seen;
+    for (const auto& m : inbox) {
+      for (const auto& part : sim::payload_parts(m)) {
+        TxId tx = rot_request_tx(*part);
+        if (!tx.valid()) continue;
+        if (std::find(seen.begin(), seen.end(), tx.value()) != seen.end())
+          continue;
+        seen.push_back(tx.value());
+        obs::SpanLog::global().note({obs::SpanNote::Kind::kServerRecv,
+                                     tx.value(), id().value(), ctx.now(), 0});
+      }
+    }
+  }
+
   on_tick(ctx);
+
+  // Span hook: ROT replies queued this step, before the wrap pass while the
+  // payloads are still bare.
+  if (view_.record_spans) {
+    std::vector<std::uint64_t> seen;
+    for (const auto& [dst, payload] : ctx.outgoing()) {
+      TxId tx = rot_reply_tx(*payload);
+      if (!tx.valid()) continue;
+      if (std::find(seen.begin(), seen.end(), tx.value()) != seen.end())
+        continue;
+      seen.push_back(tx.value());
+      obs::SpanLog::global().note({obs::SpanNote::Kind::kServerReply,
+                                   tx.value(), id().value(), ctx.now(), 0});
+    }
+  }
+
   if (view_.exactly_once) {
     // Wrap our own server->server sends first so that what gets memoized
     // (and thus replayed on a duplicate) carries the final ReqIds.

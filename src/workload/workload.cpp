@@ -67,6 +67,8 @@ WorkloadResult run_workload_sequential(sim::Simulation& sim,
     w.client = client;
     w.read_only = spec.read_only();
     w.trace_begin = sim.trace().size();
+    w.spec = spec;
+    w.invoked_at = sim.trace().size();
 
     clients[slot]->invoke(spec);
     sim::run_fair(sim, {},
@@ -130,6 +132,8 @@ WorkloadResult run_concurrent_impl(
       w.client = client;
       w.read_only = spec.read_only();
       w.trace_begin = sim.trace().size();
+      w.spec = spec;
+      w.invoked_at = sim.trace().size();
       result.windows.push_back(w);
       clients.at(client.value())->invoke(spec);
       active[client.value()] = spec.id;

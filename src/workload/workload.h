@@ -49,6 +49,11 @@ struct TxWindow {
   std::size_t trace_begin = 0;
   std::size_t trace_end = 0;
   bool completed = false;
+  /// The full spec and the trace position at invocation, so trace captures
+  /// (obs::capture_workload) can embed replayable invoke records without
+  /// re-deriving them from the history.
+  TxSpec spec;
+  std::uint64_t invoked_at = 0;
 };
 
 struct WorkloadResult {
