@@ -16,6 +16,7 @@
 // registration fails or zero benchmarks run.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -23,6 +24,7 @@
 
 #include "clock/clocks.h"
 #include "kv/store.h"
+#include "obs/phase.h"
 #include "proto/common/client.h"
 #include "proto/registry.h"
 #include "sim/schedule.h"
@@ -67,6 +69,7 @@ WarmSim build_warm(const std::string& proto_name, std::size_t num_txs) {
 void BM_WorkloadEvents(benchmark::State& state, const std::string& name) {
   auto protocol = proto::protocol_by_name(name);
   std::size_t events = 0;
+  std::size_t txs = 0;
   for (auto _ : state) {
     sim::Simulation sim;
     proto::IdSource ids;
@@ -78,9 +81,43 @@ void BM_WorkloadEvents(benchmark::State& state, const std::string& name) {
         wl::run_workload_sequential(sim, *protocol, cluster, ids, wcfg);
     benchmark::DoNotOptimize(result);
     events += sim.now();
+    txs += wcfg.num_txs - result.incomplete;
   }
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["tx/s"] = benchmark::Counter(static_cast<double>(txs),
+                                              benchmark::Counter::kIsRate);
+}
+
+/// Sustained sweep throughput: the bench_table1 regime — many transactions
+/// on one cluster, trace retention off (the sweep never reads the trace
+/// back; see Trace::set_retained).  Construction is amortized over 500
+/// transactions per iteration, so this reports the steady-state cost of
+/// simulated transactions rather than cluster setup.  The event sequence is
+/// identical to the retained run; only record bodies are dropped.
+void BM_WorkloadSustained(benchmark::State& state, const std::string& name) {
+  auto protocol = proto::protocol_by_name(name);
+  std::size_t events = 0;
+  std::size_t txs = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim.set_trace_retention(false);
+    proto::IdSource ids;
+    proto::Cluster cluster = protocol->build(sim, cluster_config(), ids);
+    wl::WorkloadConfig wcfg;
+    wcfg.num_txs = 500;
+    wcfg.seed = 9;
+    wcfg.collect_history = false;
+    auto result =
+        wl::run_workload_sequential(sim, *protocol, cluster, ids, wcfg);
+    benchmark::DoNotOptimize(result);
+    events += sim.now();
+    txs += wcfg.num_txs - result.incomplete;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["tx/s"] = benchmark::Counter(static_cast<double>(txs),
+                                              benchmark::Counter::kIsRate);
 }
 
 /// Pure snapshot: O(processes) regardless of how long the history is.
@@ -194,6 +231,42 @@ void BM_FairSchedulerSteps(benchmark::State& state) {
   }
 }
 
+/// `--phases`: instead of benchmarking, run each workload once with the
+/// wall-clock phase profiler on and print where host cycles go (handler /
+/// deliver / trace_record / digest / scheduler).  This is the "after"
+/// column of docs/PERFORMANCE.md's mix table; it reads nothing back into
+/// the simulation, so determinism and digests are unaffected.
+int run_phase_report() {
+  auto& prof = obs::PhaseProfile::global();
+  for (const char* name :
+       {"naivefast", "cops-snow", "wren", "eiger", "spanner"}) {
+    auto protocol = proto::protocol_by_name(name);
+    prof.reset();
+    prof.enable(true);
+    auto t0 = std::chrono::steady_clock::now();
+    sim::Simulation sim;
+    proto::IdSource ids;
+    proto::Cluster cluster = protocol->build(sim, cluster_config(), ids);
+    wl::WorkloadConfig wcfg;
+    wcfg.num_txs = 50;
+    wcfg.seed = 9;
+    auto result =
+        wl::run_workload_sequential(sim, *protocol, cluster, ids, wcfg);
+    auto t1 = std::chrono::steady_clock::now();
+    prof.enable(false);
+    auto wall = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    double secs = static_cast<double>(wall) / 1e9;
+    double txps =
+        static_cast<double>(wcfg.num_txs - result.incomplete) / secs;
+    std::cout << name << ": " << sim.now() << " events, "
+              << static_cast<std::uint64_t>(txps) << " tx/s\n  "
+              << prof.str(wall) << "\n";
+  }
+  return 0;
+}
+
 /// Dynamic registration so a bad protocol name or a throwing constructor
 /// surfaces as a nonzero exit, not a silently missing benchmark.
 bool register_benchmarks(bool smoke) {
@@ -203,6 +276,9 @@ bool register_benchmarks(bool smoke) {
       proto::protocol_by_name(name);  // validate before registering
       std::string label = std::string("BM_WorkloadEvents/") + name;
       benchmark::RegisterBenchmark(label.c_str(), BM_WorkloadEvents,
+                                   std::string(name));
+      std::string slabel = std::string("BM_WorkloadSustained/") + name;
+      benchmark::RegisterBenchmark(slabel.c_str(), BM_WorkloadSustained,
                                    std::string(name));
     }
     // History sizes: 50 txs ≈ hundreds of events, 1600 txs ≥ 10k events
@@ -243,6 +319,7 @@ int main(int argc, char** argv) {
   std::string min_time_flag;
   for (int i = 0; i < argc; ++i) {
     std::string_view a = argv[i];
+    if (a == "--phases") return run_phase_report();
     if (a == "--smoke") {
       smoke = true;
       continue;

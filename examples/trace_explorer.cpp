@@ -476,7 +476,17 @@ int cmd_counters_diff(const std::string& path_a, const std::string& path_b) {
     auto ib = b->find(name);
     std::uint64_t va = ia == a->end() ? 0 : ia->second;
     std::uint64_t vb = ib == b->end() ? 0 : ib->second;
-    if (va == vb) continue;
+    if (va == vb) {
+      // A zero-valued family that exists on one side only is still a real
+      // difference (the run stopped/started emitting it); don't let the
+      // 0 == 0 comparison swallow it.
+      if (ia != a->end() && ib != b->end()) continue;
+      if (ia == a->end() && ib == b->end()) continue;
+      rows.push_back({name, ia == a->end() ? "-" : cat(va),
+                      ib == b->end() ? "-" : cat(vb),
+                      ib == b->end() ? "gone" : "new"});
+      continue;
+    }
     std::string delta =
         vb >= va ? cat("+", vb - va) : cat("-", va - vb);
     rows.push_back({name, cat(va), cat(vb), delta});

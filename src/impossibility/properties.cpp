@@ -37,19 +37,19 @@ bool is_rot_reply(const Message& m, TxId tx) {
 }
 
 bool part_belongs_to_write(const sim::Payload& pl, TxId tx) {
-  if (const auto* p = dynamic_cast<const WriteRequest*>(&pl))
+  if (const auto* p = sim::payload_as<WriteRequest>(&pl))
     return p->tx == tx;
-  if (const auto* p = dynamic_cast<const WriteReply*>(&pl))
+  if (const auto* p = sim::payload_as<WriteReply>(&pl))
     return p->tx == tx;
-  if (const auto* p = dynamic_cast<const Prepare*>(&pl)) return p->tx == tx;
-  if (const auto* p = dynamic_cast<const PrepareAck*>(&pl))
+  if (const auto* p = sim::payload_as<Prepare>(&pl)) return p->tx == tx;
+  if (const auto* p = sim::payload_as<PrepareAck>(&pl))
     return p->tx == tx;
-  if (const auto* p = dynamic_cast<const Commit*>(&pl)) return p->tx == tx;
-  if (const auto* p = dynamic_cast<const CommitAck*>(&pl))
+  if (const auto* p = sim::payload_as<Commit>(&pl)) return p->tx == tx;
+  if (const auto* p = sim::payload_as<CommitAck>(&pl))
     return p->tx == tx;
-  if (const auto* p = dynamic_cast<const OldReaderQuery*>(&pl))
+  if (const auto* p = sim::payload_as<OldReaderQuery>(&pl))
     return p->wtx == tx;
-  if (const auto* p = dynamic_cast<const OldReaderReply*>(&pl))
+  if (const auto* p = sim::payload_as<OldReaderReply>(&pl))
     return p->wtx == tx;
   return false;
 }
@@ -85,7 +85,7 @@ RotAudit audit_rot(const sim::Trace& trace, std::size_t begin,
         if (!is_server(view, m.dst) || !is_rot_request(m, tx)) continue;
         sent_request = true;
         for (const auto& part : sim::payload_parts(m))
-          if (const auto* r = dynamic_cast<const RotRequest*>(part.get()))
+          if (const auto* r = sim::payload_as<RotRequest>(part.get()))
             if (r->tx == tx)
               for (auto obj : r->objects)
                 requested[m.dst.value()].insert(obj.value());
@@ -113,7 +113,7 @@ RotAudit audit_rot(const sim::Trace& trace, std::size_t begin,
           std::max(audit.max_values_per_message, carried.size());
 
       for (const auto& part : sim::payload_parts(m)) {
-        const auto* rr = dynamic_cast<const RotReply*>(part.get());
+        const auto* rr = sim::payload_as<RotReply>(part.get());
         if (!rr || rr->tx != tx) continue;
         auto note = [&](ObjectId obj, ValueId v) {
           if (!v.valid()) return;

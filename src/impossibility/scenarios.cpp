@@ -28,7 +28,7 @@ void run_without_gossip(sim::Simulation& sim, ProcessId waiting_client,
     for (const auto& m : sim.network().in_flight()) {
       bool has_gossip = false;
       for (const auto& part : sim::payload_parts(m))
-        has_gossip |= dynamic_cast<const Gossip*>(part.get()) != nullptr;
+        has_gossip |= sim::payload_as<Gossip>(part.get()) != nullptr;
       if (!has_gossip) ids.push_back(m.id);
     }
     for (auto id : ids) {

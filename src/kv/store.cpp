@@ -20,6 +20,7 @@ std::string Version::describe() const {
 }
 
 VersionedStore::ChainMap& VersionedStore::mutable_map() {
+  digest_memo_.reset();
   if (!chains_) {
     chains_ = std::make_shared<ChainMap>();
   } else if (chains_.use_count() > 1) {
@@ -110,7 +111,7 @@ bool VersionedStore::make_visible(ObjectId obj, ValueId value,
   if (idx == shared.size()) return false;
   Version& v = mutable_chain(obj)[idx];
   v.visible = true;
-  v.invisible_to = std::move(invisible_to);
+  v.invisible_to.assign(invisible_to.begin(), invisible_to.end());
   return true;
 }
 
@@ -137,6 +138,7 @@ bool VersionedStore::has_pending() const {
 }
 
 std::string VersionedStore::digest() const {
+  if (digest_memo_) return *digest_memo_;
   std::ostringstream os;
   if (!chains_) return os.str();
   for (const auto& [obj, chain] : *chains_) {
@@ -149,7 +151,8 @@ std::string VersionedStore::digest() const {
     }
     os << "];";
   }
-  return os.str();
+  digest_memo_ = std::make_shared<const std::string>(os.str());
+  return *digest_memo_;
 }
 
 }  // namespace discs::kv

@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "clock/clocks.h"
+#include "util/flat_map.h"
 #include "util/ids.h"
+#include "util/small_vec.h"
 
 namespace discs::kv {
 
@@ -32,6 +34,35 @@ using discs::ObjectId;
 using discs::TxId;
 using discs::ValueId;
 using discs::clk::HlcTimestamp;
+
+/// Ordered set of reader exclusions, stored inline for the common cases
+/// (empty, one or two readers) instead of as std::set heap nodes — version
+/// chains are COW-cloned wholesale, so per-version node allocations were a
+/// dominant clone cost.  Iteration order and the insert/count surface match
+/// std::set, which keeps store digests byte-identical.
+class ReaderSet {
+ public:
+  ReaderSet() = default;
+
+  void insert(TxId t) { v_.insert_sorted_unique(t); }
+  std::size_t count(TxId t) const { return v_.contains_sorted(t) ? 1 : 0; }
+
+  /// Bulk-load from any sorted unique range (e.g. a std::set).
+  template <class It>
+  void assign(It first, It last) {
+    v_.assign(first, last);
+  }
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  const TxId* begin() const { return v_.begin(); }
+  const TxId* end() const { return v_.end(); }
+
+  friend bool operator==(const ReaderSet&, const ReaderSet&) = default;
+
+ private:
+  util::SmallVec<TxId, 2> v_;
+};
 
 /// A causal dependency: "this version depends on `value` of `object`,
 /// written at `ts`".
@@ -61,7 +92,7 @@ struct Version {
   bool visible = true;
   /// ROTs to which this version must never be served (COPS-SNOW old
   /// readers).
-  std::set<TxId> invisible_to;
+  ReaderSet invisible_to;
 
   std::string describe() const;
 };
@@ -109,14 +140,23 @@ class VersionedStore {
 
  private:
   using Chain = std::vector<Version>;
-  using ChainMap = std::map<ObjectId, std::shared_ptr<Chain>>;
+  /// Sorted flat map: same iteration order as the std::map it replaced
+  /// (digest bytes unchanged), contiguous storage so the O(objects) COW map
+  /// clone is one vector copy instead of a node-tree rebuild.
+  using ChainMap = util::FlatMap<ObjectId, std::shared_ptr<Chain>>;
 
-  /// COW gates: un-share the map / one chain before mutating.
+  /// COW gates: un-share the map / one chain before mutating.  Both also
+  /// invalidate the digest memo.
   ChainMap& mutable_map();
   Chain& mutable_chain(ObjectId obj);
 
   /// Null means empty; copies share the map until one of them writes.
   std::shared_ptr<ChainMap> chains_;
+  /// Memoized digest(): shared between copies (they describe the same
+  /// state), reset by the COW gates.  Unchanged stores — the common case,
+  /// since every process step re-digests under the simulation's memo —
+  /// skip re-serializing every chain.
+  mutable std::shared_ptr<const std::string> digest_memo_;
   static const std::vector<Version> kEmpty;
 };
 

@@ -38,6 +38,9 @@ double Summary::max() const {
 
 double Summary::percentile(double q) const {
   if (samples_.empty()) return kNan;
+  // NaN passes through std::clamp unchanged, and casting floor(NaN) to an
+  // index is undefined behavior — answer in kind instead.
+  if (std::isnan(q)) return kNan;
   ensure_sorted();
   q = std::clamp(q, 0.0, 1.0);
   double rank = q * static_cast<double>(samples_.size() - 1);

@@ -38,12 +38,24 @@ std::uint64_t Histogram::bucket_width(std::size_t index) {
   return 1ull << (static_cast<int>(major) - 1);
 }
 
+void Histogram::add_to_sum(std::uint64_t value) {
+  // Saturate instead of wrapping: a few huge samples (e.g. ~0ull sentinel
+  // timestamps fed in by mistake) must degrade mean() into a lower bound,
+  // not wrap it into small nonsense.
+  if (sum_saturated_ || value > ~0ull - sum_) {
+    sum_ = ~0ull;
+    sum_saturated_ = true;
+  } else {
+    sum_ += value;
+  }
+}
+
 void Histogram::record(std::uint64_t value) {
   std::size_t idx = bucket_index(value);
   if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
   ++buckets_[idx];
   ++count_;
-  sum_ += value;
+  add_to_sum(value);
   min_ = std::min(min_, value);
   max_ = std::max(max_, value);
 }
@@ -55,7 +67,8 @@ void Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < other.buckets_.size(); ++i)
     buckets_[i] += other.buckets_[i];
   count_ += other.count_;
-  sum_ += other.sum_;
+  if (other.sum_saturated_) sum_saturated_ = true;
+  add_to_sum(other.sum_);
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }
@@ -64,6 +77,7 @@ void Histogram::reset() {
   buckets_.clear();
   count_ = 0;
   sum_ = 0;
+  sum_saturated_ = false;
   min_ = ~0ull;
   max_ = 0;
 }

@@ -32,6 +32,9 @@ class Histogram {
 
   std::uint64_t count() const { return count_; }
   std::uint64_t sum() const { return sum_; }
+  /// True once the running sum hit the u64 ceiling; sum() (and therefore
+  /// mean()) are lower bounds from that point on instead of wrapped garbage.
+  bool sum_saturated() const { return sum_saturated_; }
   /// Smallest / largest recorded sample; 0 when empty.
   std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
   std::uint64_t max() const { return max_; }
@@ -55,9 +58,12 @@ class Histogram {
   static std::uint64_t bucket_width(std::size_t index);
 
  private:
+  void add_to_sum(std::uint64_t value);
+
   std::vector<std::uint64_t> buckets_;  ///< grown lazily to the top bucket
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
+  bool sum_saturated_ = false;
   std::uint64_t min_ = ~0ull;
   std::uint64_t max_ = 0;
 };

@@ -1,0 +1,57 @@
+#include "obs/phase.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/fmt.h"
+
+namespace discs::obs {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kHandler: return "handler";
+    case Phase::kDeliver: return "deliver";
+    case Phase::kTraceRecord: return "trace_record";
+    case Phase::kDigest: return "digest";
+    case Phase::kScheduler: return "scheduler";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+PhaseProfile& PhaseProfile::global() {
+  static PhaseProfile instance;
+  return instance;
+}
+
+std::uint64_t PhaseProfile::total_ns() const {
+  std::uint64_t t = 0;
+  for (auto v : ns_) t += v;
+  return t;
+}
+
+void PhaseProfile::reset() { ns_.fill(0); }
+
+std::string PhaseProfile::str(std::uint64_t wall_ns) const {
+  std::vector<std::pair<std::string_view, std::uint64_t>> rows;
+  for (std::size_t i = 0; i < ns_.size(); ++i)
+    if (ns_[i] > 0) rows.emplace_back(phase_name(static_cast<Phase>(i)), ns_[i]);
+  std::uint64_t sum = total_ns();
+  std::uint64_t base = std::max(wall_ns, sum);
+  if (wall_ns > sum) rows.emplace_back("untimed", wall_ns - sum);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) os << "  ";
+    double share = base == 0 ? 0.0
+                             : 100.0 * static_cast<double>(rows[i].second) /
+                                   static_cast<double>(base);
+    os << rows[i].first << " " << fixed(share, 1) << "% ("
+       << rows[i].second / 1000000 << "ms)";
+  }
+  return os.str();
+}
+
+}  // namespace discs::obs

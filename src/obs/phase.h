@@ -1,0 +1,96 @@
+// Wall-clock phase profiler for the simulator's hot path.
+//
+// The simulated critical-path tilings (obs/span_dag) attribute *virtual*
+// time and are pinned byte-for-byte by the benches; they cannot show where
+// *host* cycles go.  This profiler answers that second question: when
+// enabled it accumulates steady-clock nanoseconds into a fixed set of
+// phases (protocol handlers, delivery, trace recording, digesting,
+// scheduler scanning) so benches can print a wall-clock mix like
+//
+//   handler 62.1%  trace_record 17.4%  deliver 11.0%  digest 6.2%  ...
+//
+// and docs/PERFORMANCE.md can compare the mix before and after an
+// optimization.  Disabled (the default) the instrumentation is one relaxed
+// atomic load per scope — cheap enough to leave compiled into the sim —
+// and NOTHING here ever feeds back into simulation state, digests, or
+// traces: wall-clock readings are observability only, determinism is
+// untouched.
+//
+// Accumulators are plain (non-atomic) u64s: the simulator is single-
+// threaded per Simulation, and `discs::par` workers each profile their own
+// shard.  Enable/disable around a measured region from one thread.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace discs::obs {
+
+enum class Phase : std::uint8_t {
+  kHandler = 0,   ///< protocol on_step bodies (incl. wrap/dedup passes)
+  kDeliver,       ///< network delivery bookkeeping
+  kTraceRecord,   ///< appending EventRecords to the trace
+  kDigest,        ///< state digesting (memo misses)
+  kScheduler,     ///< run_fair/run_random scanning & bookkeeping
+  kCount,
+};
+
+std::string_view phase_name(Phase p);
+
+class PhaseProfile {
+ public:
+  static PhaseProfile& global();
+
+  /// Process-wide enable flag, header-inline so a disabled PhaseScope is
+  /// one relaxed load — no out-of-line call, no function-static guard on
+  /// the per-event path.
+  static inline std::atomic<bool> g_enabled{false};
+
+  void enable(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return g_enabled.load(std::memory_order_relaxed); }
+
+  void add(Phase p, std::uint64_t ns) {
+    ns_[static_cast<std::size_t>(p)] += ns;
+  }
+  std::uint64_t ns(Phase p) const { return ns_[static_cast<std::size_t>(p)]; }
+  std::uint64_t total_ns() const;
+  void reset();
+
+  /// One line per nonzero phase, largest first:
+  /// `handler 62.1% (123ms)` — plus an `untimed` row if `wall_ns` (the
+  /// caller's own measurement of the whole region) exceeds the phase sum.
+  std::string str(std::uint64_t wall_ns = 0) const;
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(Phase::kCount)> ns_{};
+};
+
+/// RAII accumulator; ~free when profiling is off.  Nested scopes of
+/// different phases double-count the overlap by design (each phase answers
+/// "how long were we inside this machinery"), so instrument leaves, not
+/// containers, where exclusivity matters.
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase p) : phase_(p) {
+    if (PhaseProfile::g_enabled.load(std::memory_order_relaxed))
+      start_ = std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+  ~PhaseScope() {
+    if (start_ == 0) return;
+    auto end = std::chrono::steady_clock::now().time_since_epoch().count();
+    PhaseProfile::global().add(
+        phase_, static_cast<std::uint64_t>(end - start_));
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Phase phase_;
+  std::int64_t start_ = 0;
+};
+
+}  // namespace discs::obs

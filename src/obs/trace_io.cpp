@@ -41,13 +41,13 @@ ExportedMessage ExportedMessage::from(const sim::Message& m, bool spans) {
   for (const auto& part : sim::payload_parts(m)) {
     if (TxId tx = proto::rot_request_tx(*part); tx.valid()) {
       push_once(out.req_txs, tx.value());
-      if (const auto* r = dynamic_cast<const proto::RotRequest*>(part.get()))
+      if (const auto* r = sim::payload_as<proto::RotRequest>(part.get()))
         for (auto obj : r->objects)
           out.req_objs.emplace_back(tx.value(), obj.value());
     }
     if (TxId tx = proto::rot_reply_tx(*part); tx.valid()) {
       push_once(out.rep_txs, tx.value());
-      if (const auto* r = dynamic_cast<const proto::RotReply*>(part.get())) {
+      if (const auto* r = sim::payload_as<proto::RotReply>(part.get())) {
         auto note = [&](ObjectId obj, ValueId v) {
           if (v.valid())
             out.reads.push_back({tx.value(), obj.value(), v.value()});

@@ -45,13 +45,13 @@ std::map<ObjectId, ValueId> ClientBase::result_of(TxId tx) const {
 }
 
 void ClientBase::on_step(sim::StepContext& ctx,
-                         const std::vector<sim::Message>& inbox) {
+                         const sim::MessageVec& inbox) {
   for (const auto& m : inbox) {
-    for (const auto& part : sim::payload_parts(m)) {
+    sim::for_each_part(m, [&](const std::shared_ptr<const sim::Payload>& part) {
       sim::Message sub = m;
       sub.payload = part;
       on_message(ctx, sub);
-    }
+    });
   }
 
   if (active_ && !started_) {
@@ -71,7 +71,7 @@ void ClientBase::on_step(sim::StepContext& ctx,
   // as client.rot.rounds when the transaction completes).  Runs before the
   // wrap pass, while the queued payloads are still bare.
   for (const auto& [dst, payload] : ctx.outgoing()) {
-    if (const auto* req = dynamic_cast<const RotRequest*>(payload.get()))
+    if (const auto* req = sim::payload_as<RotRequest>(payload.get()))
       max_rot_round_ = std::max(max_rot_round_, req->round);
   }
 

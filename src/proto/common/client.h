@@ -63,7 +63,7 @@ class ClientBase : public sim::Process {
 
   // --- sim::Process ---
   void on_step(sim::StepContext& ctx,
-               const std::vector<sim::Message>& inbox) final;
+               const sim::MessageVec& inbox) final;
   std::string state_digest() const final;
   /// Lossy crash: the session identity is volatile, so start a new
   /// incarnation — servers then treat the old incarnation's envelopes as

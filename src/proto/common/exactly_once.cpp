@@ -27,11 +27,11 @@ void SessionStamper::wrap_outgoing(
         view.servers.end())
       continue;  // replies to clients are not deduplicated
     if (payload->idempotent()) continue;
-    if (dynamic_cast<const SessionEnvelope*>(payload.get()))
+    if (sim::payload_as<SessionEnvelope>(payload.get()))
       continue;  // retransmitted or replayed: keep the original ReqId
     ReqId req{self, session_, next_seq_++};
-    payload = std::make_shared<const SessionEnvelope>(req, stable_before_,
-                                                      std::move(payload));
+    payload = sim::make_payload<SessionEnvelope>(req, stable_before_,
+                                                 std::move(payload));
   }
 }
 

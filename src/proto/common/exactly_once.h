@@ -33,7 +33,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -41,6 +40,7 @@
 
 #include "proto/common/cluster.h"
 #include "proto/common/payloads.h"
+#include "util/flat_map.h"
 
 namespace discs::proto {
 
@@ -153,7 +153,9 @@ class DedupTable {
 
   void prune(SenderRec& rec);
 
-  std::map<ProcessId, SenderRec> senders_;
+  /// Flat map: senders are few and looked up per envelope; iteration stays
+  /// id-ordered so digest() bytes match the std::map it replaced.
+  util::FlatMap<ProcessId, SenderRec> senders_;
 };
 
 }  // namespace discs::proto

@@ -211,18 +211,16 @@ std::string TxStatusReply::describe() const {
 }
 
 TxId rot_request_tx(const sim::Payload& p) {
-  if (const auto* r = dynamic_cast<const RotRequest*>(&p)) return r->tx;
-  if (const auto* r = dynamic_cast<const SnapshotRequest*>(&p)) return r->tx;
-  if (const auto* r = dynamic_cast<const TxStatusQuery*>(&p))
-    return r->reader;
+  if (const auto* r = sim::payload_as<RotRequest>(&p)) return r->tx;
+  if (const auto* r = sim::payload_as<SnapshotRequest>(&p)) return r->tx;
+  if (const auto* r = sim::payload_as<TxStatusQuery>(&p)) return r->reader;
   return TxId::invalid();
 }
 
 TxId rot_reply_tx(const sim::Payload& p) {
-  if (const auto* r = dynamic_cast<const RotReply*>(&p)) return r->tx;
-  if (const auto* r = dynamic_cast<const SnapshotReply*>(&p)) return r->tx;
-  if (const auto* r = dynamic_cast<const TxStatusReply*>(&p))
-    return r->reader;
+  if (const auto* r = sim::payload_as<RotReply>(&p)) return r->tx;
+  if (const auto* r = sim::payload_as<SnapshotReply>(&p)) return r->tx;
+  if (const auto* r = sim::payload_as<TxStatusReply>(&p)) return r->reader;
   return TxId::invalid();
 }
 

@@ -62,7 +62,8 @@ struct SessionEnvelope : Payload {
       : req(r), stable_before(stable), inner(std::move(p)) {}
 
   std::string describe() const override;
-  std::string_view kind() const override { return "SessionEnvelope"; }
+  static constexpr std::string_view kKind = "SessionEnvelope";
+  std::string_view kind() const override { return kKind; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
   TxId tx_hint() const override {
@@ -107,7 +108,8 @@ struct RotRequest : Payload {
   std::map<ObjectId, HlcTimestamp> at_least;
 
   std::string describe() const override;
-  std::string_view kind() const override { return "RotRequest"; }
+  static constexpr std::string_view kKind = "RotRequest";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return tx; }
   std::size_t byte_size() const override;
 };
@@ -121,7 +123,8 @@ struct RotReply : Payload {
   std::vector<PendingInfo> pendings;
 
   std::string describe() const override;
-  std::string_view kind() const override { return "RotReply"; }
+  static constexpr std::string_view kKind = "RotReply";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return tx; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
@@ -131,7 +134,8 @@ struct RotReply : Payload {
 struct SnapshotRequest : Payload {
   TxId tx;
   std::string describe() const override;
-  std::string_view kind() const override { return "SnapshotRequest"; }
+  static constexpr std::string_view kKind = "SnapshotRequest";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return tx; }
 };
 
@@ -140,7 +144,8 @@ struct SnapshotReply : Payload {
   TxId tx;
   HlcTimestamp snapshot;
   std::string describe() const override;
-  std::string_view kind() const override { return "SnapshotReply"; }
+  static constexpr std::string_view kKind = "SnapshotReply";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return tx; }
 };
 
@@ -155,7 +160,8 @@ struct WriteRequest : Payload {
   HlcTimestamp client_ts{};
 
   std::string describe() const override;
-  std::string_view kind() const override { return "WriteRequest"; }
+  static constexpr std::string_view kKind = "WriteRequest";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return tx; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
@@ -167,7 +173,8 @@ struct WriteReply : Payload {
   bool ok = true;
   HlcTimestamp ts{};
   std::string describe() const override;
-  std::string_view kind() const override { return "WriteReply"; }
+  static constexpr std::string_view kKind = "WriteReply";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return tx; }
 };
 
@@ -180,7 +187,8 @@ struct Prepare : Payload {
   HlcTimestamp client_ts{};
 
   std::string describe() const override;
-  std::string_view kind() const override { return "Prepare"; }
+  static constexpr std::string_view kKind = "Prepare";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return tx; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
@@ -190,7 +198,8 @@ struct PrepareAck : Payload {
   TxId tx;
   HlcTimestamp proposed;
   std::string describe() const override;
-  std::string_view kind() const override { return "PrepareAck"; }
+  static constexpr std::string_view kKind = "PrepareAck";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return tx; }
 };
 
@@ -198,7 +207,8 @@ struct Commit : Payload {
   TxId tx;
   HlcTimestamp commit_ts;
   std::string describe() const override;
-  std::string_view kind() const override { return "Commit"; }
+  static constexpr std::string_view kKind = "Commit";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return tx; }
 };
 
@@ -206,7 +216,8 @@ struct CommitAck : Payload {
   TxId tx;
   HlcTimestamp commit_ts;
   std::string describe() const override;
-  std::string_view kind() const override { return "CommitAck"; }
+  static constexpr std::string_view kKind = "CommitAck";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return tx; }
 };
 
@@ -216,7 +227,8 @@ struct Gossip : Payload {
   HlcTimestamp stable;
   std::uint64_t round = 0;
   std::string describe() const override;
-  std::string_view kind() const override { return "Gossip"; }
+  static constexpr std::string_view kKind = "Gossip";
+  std::string_view kind() const override { return kKind; }
   /// Receivers fold gossip with a monotone max, so a repeat is a no-op and
   /// the session layer need not (and does not) envelope it.
   bool idempotent() const override { return true; }
@@ -231,7 +243,8 @@ struct OldReaderQuery : Payload {
   TxId wtx;
   std::vector<std::pair<ObjectId, HlcTimestamp>> deps;
   std::string describe() const override;
-  std::string_view kind() const override { return "OldReaderQuery"; }
+  static constexpr std::string_view kKind = "OldReaderQuery";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return wtx; }
   std::size_t byte_size() const override;
 };
@@ -240,7 +253,8 @@ struct OldReaderReply : Payload {
   TxId wtx;
   std::vector<TxId> old_readers;
   std::string describe() const override;
-  std::string_view kind() const override { return "OldReaderReply"; }
+  static constexpr std::string_view kKind = "OldReaderReply";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return wtx; }
   std::size_t byte_size() const override;
 };
@@ -250,7 +264,8 @@ struct TxStatusQuery : Payload {
   TxId reader;
   TxId wtx;
   std::string describe() const override;
-  std::string_view kind() const override { return "TxStatusQuery"; }
+  static constexpr std::string_view kKind = "TxStatusQuery";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return wtx; }
 };
 
@@ -260,7 +275,8 @@ struct TxStatusReply : Payload {
   bool committed = false;
   HlcTimestamp commit_ts{};
   std::string describe() const override;
-  std::string_view kind() const override { return "TxStatusReply"; }
+  static constexpr std::string_view kKind = "TxStatusReply";
+  std::string_view kind() const override { return kKind; }
   TxId tx_hint() const override { return wtx; }
 };
 

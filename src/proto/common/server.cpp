@@ -74,17 +74,16 @@ bool ServerBase::stores(ObjectId obj) const {
 }
 
 void ServerBase::on_step(sim::StepContext& ctx,
-                         const std::vector<sim::Message>& inbox) {
+                         const sim::MessageVec& inbox) {
   auto& reg = obs::Registry::global();
   // Outgoing indices filled by memoized-reply replays; excluded from this
   // step's memoization pass (a replayed reply answers an old request, not
   // whichever pending one happens to share its transaction).
   std::vector<std::size_t> replayed;
   for (const auto& m : inbox) {
-    for (const auto& part : sim::payload_parts(m)) {
+    sim::for_each_part(m, [&](const std::shared_ptr<const sim::Payload>& part) {
       count_recv(*part);
-      if (const auto* env =
-              dynamic_cast<const SessionEnvelope*>(part.get())) {
+      if (const auto* env = sim::payload_as<SessionEnvelope>(part.get())) {
         auto adm = dedup_.admit(*env);
         if (adm.verdict != DedupTable::Verdict::kExecute) {
           reg.inc(adm.verdict == DedupTable::Verdict::kStale
@@ -96,19 +95,19 @@ void ServerBase::on_step(sim::StepContext& ctx,
               ctx.send(dst, payload);
             }
           }
-          continue;
+          return;
         }
         DISCS_CHECK(env->inner != nullptr);
         count_recv(*env->inner);
         sim::Message sub = m;
         sub.payload = env->inner;
         on_message(ctx, sub);
-        continue;
+        return;
       }
       sim::Message sub = m;
       sub.payload = part;
       on_message(ctx, sub);
-    }
+    });
   }
 
   // Span hook: note which ROTs this step consumed a request for, attributed
@@ -118,15 +117,17 @@ void ServerBase::on_step(sim::StepContext& ctx,
   if (view_.record_spans) {
     std::vector<std::uint64_t> seen;
     for (const auto& m : inbox) {
-      for (const auto& part : sim::payload_parts(m)) {
-        TxId tx = rot_request_tx(*part);
-        if (!tx.valid()) continue;
-        if (std::find(seen.begin(), seen.end(), tx.value()) != seen.end())
-          continue;
-        seen.push_back(tx.value());
-        obs::SpanLog::global().note({obs::SpanNote::Kind::kServerRecv,
-                                     tx.value(), id().value(), ctx.now(), 0});
-      }
+      sim::for_each_part(
+          m, [&](const std::shared_ptr<const sim::Payload>& part) {
+            TxId tx = rot_request_tx(*part);
+            if (!tx.valid()) return;
+            if (std::find(seen.begin(), seen.end(), tx.value()) != seen.end())
+              return;
+            seen.push_back(tx.value());
+            obs::SpanLog::global().note({obs::SpanNote::Kind::kServerRecv,
+                                         tx.value(), id().value(), ctx.now(),
+                                         0});
+          });
     }
   }
 

@@ -38,7 +38,7 @@ class ServerBase : public sim::Process {
 
   // --- sim::Process ---
   void on_step(sim::StepContext& ctx,
-               const std::vector<sim::Message>& inbox) final;
+               const sim::MessageVec& inbox) final;
   std::string state_digest() const final;
 
   /// Lossy crash (src/fault).  Without a journal the store falls back to

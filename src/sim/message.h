@@ -8,12 +8,14 @@
 // approximate serialized size for the metadata-blowup experiment.
 #pragma once
 
+#include <concepts>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/ids.h"
+#include "util/pool.h"
 
 namespace discs::sim {
 
@@ -62,6 +64,37 @@ class Payload {
   virtual TxId tx_hint() const { return TxId::invalid(); }
 };
 
+/// Downcast by kind tag instead of RTTI.  Concrete payload classes expose
+/// `static constexpr std::string_view kKind` equal to what their kind()
+/// override returns; since the payload hierarchy is flat (no payload class
+/// derives from another concrete payload) a kind match identifies the
+/// dynamic type exactly, and the cast costs one virtual call plus a
+/// string_view compare — an order of magnitude cheaper than dynamic_cast
+/// on the per-part dispatch path.  Types without kKind fall back to
+/// dynamic_cast, so test-local payload classes keep working unchanged.
+template <class T>
+const T* payload_as(const Payload* p) {
+  if constexpr (requires {
+                  { T::kKind } -> std::convertible_to<std::string_view>;
+                }) {
+    if (p != nullptr && p->kind() == T::kKind) return static_cast<const T*>(p);
+    return nullptr;
+  } else {
+    return dynamic_cast<const T*>(p);
+  }
+}
+
+/// Builds an immutable payload on the thread-local pool (util/pool.h):
+/// object and shared_ptr control block land in one pooled allocation via
+/// allocate_shared.  This is the allocation path for ALL protocol sends —
+/// StepContext::send_make and the simulator's own BatchPayload wrapping go
+/// through it.
+template <class T, class... Args>
+std::shared_ptr<const T> make_payload(Args&&... args) {
+  return std::allocate_shared<T>(util::PoolAllocator<T>(),
+                                 std::forward<Args>(args)...);
+}
+
 /// A message in transit or in an income buffer.  Copyable: the payload is
 /// immutable and shared.
 struct Message {
@@ -72,11 +105,19 @@ struct Message {
 
   std::string describe() const;
 
+  /// Typed payload access; kind-tag dispatch with a dynamic_cast fallback
+  /// (see payload_as).
   template <class T>
   const T* as() const {
-    return dynamic_cast<const T*>(payload.get());
+    return payload_as<T>(payload.get());
   }
 };
+
+/// The message buffer type of the hot path: income buffers, step inboxes
+/// and trace records all churn one of these per event, so their backing
+/// arrays come from the thread-local pool instead of malloc.  Iteration,
+/// indexing and value semantics are exactly std::vector's.
+using MessageVec = std::vector<Message, util::PoolAllocator<Message>>;
 
 /// Aggregates several protocol payloads into the single message a process
 /// may send to one neighbor per computation step.  The model bounds the
@@ -85,6 +126,8 @@ struct Message {
 /// batches them automatically and the receiving framework unbatches.
 class BatchPayload : public Payload {
  public:
+  static constexpr std::string_view kKind = "Batch";
+
   explicit BatchPayload(std::vector<std::shared_ptr<const Payload>> parts)
       : parts_(std::move(parts)) {}
 
@@ -93,7 +136,7 @@ class BatchPayload : public Payload {
   }
 
   std::string describe() const override;
-  std::string_view kind() const override { return "Batch"; }
+  std::string_view kind() const override { return kKind; }
   std::vector<ValueId> values_carried() const override;
   std::size_t byte_size() const override;
 
@@ -104,6 +147,19 @@ class BatchPayload : public Payload {
 /// The individual payloads of a message: the batch parts, or the payload
 /// itself for unbatched messages.
 std::vector<std::shared_ptr<const Payload>> payload_parts(const Message& m);
+
+/// Visits each part of `m` without materializing a vector — the per-message
+/// dispatch path of ClientBase/ServerBase, where payload_parts' return
+/// vector used to be one allocation per message.  `f` receives
+/// const std::shared_ptr<const Payload>&.
+template <class F>
+void for_each_part(const Message& m, F&& f) {
+  if (const auto* batch = m.as<BatchPayload>()) {
+    for (const auto& p : batch->parts()) f(p);
+  } else {
+    f(m.payload);
+  }
+}
 
 /// Encodes a message id as (sender, per-sender sequence number).  Minting
 /// ids this way makes them *stable under execution splicing*: a process that

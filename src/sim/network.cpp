@@ -38,10 +38,9 @@ bool Network::deliver(MsgId id) {
   auto idx = index_.find(id.value());
   if (idx == index_.end()) return false;
   auto it = idx->second;
-  Message m = std::move(*it);
+  income_bucket(it->dst.value()).push_back(std::move(*it));
   in_flight_.erase(it);
   index_.erase(idx);
-  income_[m.dst.value()].push_back(std::move(m));
   return true;
 }
 
@@ -59,23 +58,23 @@ bool Network::duplicate(MsgId id) {
   auto idx = index_.find(id.value());
   if (idx == index_.end()) return false;
   const Message& m = *idx->second;
-  income_[m.dst.value()].push_back(m);
+  income_bucket(m.dst.value()).push_back(m);
   return true;
 }
 
-std::vector<Message> Network::drain_income(ProcessId p) {
-  auto it = income_.find(p.value());
-  if (it == income_.end()) return {};
-  std::vector<Message> out = std::move(it->second);
-  income_.erase(it);
+MessageVec Network::drain_income(ProcessId p) {
+  if (p.value() >= income_.size() || income_[p.value()].empty()) return {};
+  // Move the contents out but keep the bucket so the next delivery reuses
+  // its slot (and the moved-from vector's capacity returns to the pool).
+  MessageVec out = std::move(income_[p.value()]);
+  income_[p.value()].clear();
   return out;
 }
 
 std::size_t Network::clear_income(ProcessId p) {
-  auto it = income_.find(p.value());
-  if (it == income_.end()) return 0;
-  const std::size_t lost = it->second.size();
-  income_.erase(it);
+  if (p.value() >= income_.size()) return 0;
+  const std::size_t lost = income_[p.value()].size();
+  income_[p.value()].clear();
   return lost;
 }
 
@@ -94,21 +93,25 @@ std::optional<Message> Network::find_in_flight(MsgId id) const {
 }
 
 std::vector<Message> Network::income_of(ProcessId p) const {
-  auto it = income_.find(p.value());
-  if (it == income_.end()) return {};
-  return it->second;
+  if (p.value() >= income_.size()) return {};
+  const MessageVec& buf = income_[p.value()];
+  return {buf.begin(), buf.end()};
+}
+
+bool Network::has_income(ProcessId p) const {
+  return p.value() < income_.size() && !income_[p.value()].empty();
 }
 
 bool Network::idle() const {
   if (!in_flight_.empty()) return false;
-  for (const auto& [_, buf] : income_)
+  for (const auto& buf : income_)
     if (!buf.empty()) return false;
   return true;
 }
 
 std::size_t Network::income_count() const {
   std::size_t n = 0;
-  for (const auto& [_, buf] : income_) n += buf.size();
+  for (const auto& buf : income_) n += buf.size();
   return n;
 }
 
@@ -120,11 +123,12 @@ std::string Network::digest() const {
   std::sort(flight.begin(), flight.end());
 
   std::vector<std::string> incomes;
-  for (const auto& [pid, buf] : income_) {
+  for (std::size_t pid = 0; pid < income_.size(); ++pid) {
+    const MessageVec& buf = income_[pid];
     if (buf.empty()) continue;
     std::vector<std::uint64_t> ids;
     for (const auto& m : buf) ids.push_back(m.id.value());
-    incomes.push_back(cat("in[", pid, "]={",
+    incomes.push_back(cat("in[", static_cast<std::uint64_t>(pid), "]={",
                           join(ids, ","), "}"));
   }
   std::sort(incomes.begin(), incomes.end());

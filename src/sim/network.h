@@ -15,6 +15,14 @@
 // find / remove are O(1) even when a fault plan delays thousands of
 // messages into a long backlog (they used to be linear scans, which made
 // large backlogs quadratic).
+//
+// Income buffers are a dense array indexed by process id (process ids are
+// consecutive small integers), so the per-event drain / has-income /
+// delivery-append operations are a bounds check and an array index — no
+// hashing anywhere on the delivery path.  Buckets persist across drains
+// (vectors are cleared, never destroyed), so steady-state traffic reuses
+// their capacity.  Purely an access-path change: per-message delivery
+// events, income order and digests are byte-identical.
 #pragma once
 
 #include <list>
@@ -23,8 +31,20 @@
 #include <vector>
 
 #include "sim/message.h"
+#include "util/pool.h"
 
 namespace discs::sim {
+
+/// Outcome buffer: a send-ordered list with pool-backed nodes (one list
+/// node plus one index node used to be two mallocs per message sent and
+/// two frees per delivery — the dominant allocator traffic of a run).
+using FlightList = std::list<Message, util::PoolAllocator<Message>>;
+using FlightIndex = std::unordered_map<
+    std::uint64_t, FlightList::iterator, std::hash<std::uint64_t>,
+    std::equal_to<std::uint64_t>,
+    util::PoolAllocator<std::pair<const std::uint64_t, FlightList::iterator>>>;
+/// Income buffers, indexed by destination process id.
+using IncomeTable = std::vector<MessageVec>;
 
 class Network {
  public:
@@ -41,6 +61,29 @@ class Network {
   /// buffer.  Returns false if no such message is in flight.
   bool deliver(MsgId id);
 
+  /// Single-lookup guarded delivery: finds `id`, asks `allow(dst)` and, if
+  /// permitted, moves the message into its destination's income buffer.
+  /// Returns a pointer to the message in the income buffer (valid until the
+  /// buffer next mutates) — the Simulation records the trace from it without
+  /// an intermediate copy.  Null if not in flight; `vetoed` is set when the
+  /// message existed but `allow` said no (crashed destination).
+  template <class F>
+  const Message* deliver_if(MsgId id, F&& allow, bool& vetoed) {
+    vetoed = false;
+    auto idx = index_.find(id.value());
+    if (idx == index_.end()) return nullptr;
+    auto it = idx->second;
+    if (!allow(it->dst)) {
+      vetoed = true;
+      return nullptr;
+    }
+    MessageVec& buf = income_bucket(it->dst.value());
+    buf.push_back(std::move(*it));
+    in_flight_.erase(it);
+    index_.erase(idx);
+    return &buf.back();
+  }
+
   /// Removes message `id` from flight without delivering it (a drop event
   /// chosen by the fault adversary).  Returns the removed message.
   std::optional<Message> remove_in_flight(MsgId id);
@@ -51,7 +94,7 @@ class Network {
   bool duplicate(MsgId id);
 
   /// Drains and returns the income buffer of `p` (in delivery order).
-  std::vector<Message> drain_income(ProcessId p);
+  MessageVec drain_income(ProcessId p);
 
   /// Discards the income buffer of `p` (a crash loses undrained messages).
   /// Returns how many messages were lost.
@@ -60,7 +103,7 @@ class Network {
   /// --- queries (all const) ---
 
   /// Messages sent but not yet delivered, in send order.
-  const std::list<Message>& in_flight() const { return in_flight_; }
+  const FlightList& in_flight() const { return in_flight_; }
 
   /// Messages in flight from `src` to `dst`.
   std::vector<Message> in_flight_between(ProcessId src, ProcessId dst) const;
@@ -70,6 +113,10 @@ class Network {
 
   /// Income buffer of `p` (delivered, not yet consumed).
   std::vector<Message> income_of(ProcessId p) const;
+
+  /// True iff `p` has undrained income — the allocation-free form of
+  /// `!income_of(p).empty()` the schedulers poll every round.
+  bool has_income(ProcessId p) const;
 
   /// True iff no message is in flight and all income buffers are empty —
   /// the "no message is in transit" part of a quiescent configuration.
@@ -84,10 +131,20 @@ class Network {
  private:
   void reindex();
 
-  std::list<Message> in_flight_;  // send order
+  /// The income bucket for destination `key`; grows the table on first
+  /// traffic to a new destination.  Buckets are never erased (cleared at
+  /// most), so capacity survives across drains.
+  MessageVec& income_bucket(std::uint64_t key) {
+    if (key >= income_.size()) income_.resize(key + 1);
+    return income_[key];
+  }
+
+  FlightList in_flight_;  // send order
   /// MsgId -> list node, for O(1) deliver/find/remove.
-  std::unordered_map<std::uint64_t, std::list<Message>::iterator> index_;
-  std::unordered_map<std::uint64_t, std::vector<Message>> income_;
+  FlightIndex index_;
+  /// Income buffers by process id; buckets persist empty after a drain so
+  /// repeat traffic to the same destination reuses their capacity.
+  IncomeTable income_;
 };
 
 }  // namespace discs::sim

@@ -28,6 +28,21 @@ class StepContext {
  public:
   StepContext(ProcessId self, std::uint64_t now) : self_(self), now_(now) {}
 
+  /// Adopts a scratch buffer whose capacity survives across steps; the
+  /// Simulation recycles one buffer for every step it executes instead of
+  /// growing a fresh vector each time.  take_outgoing() hands it back.
+  StepContext(ProcessId self, std::uint64_t now,
+              std::vector<std::pair<ProcessId, std::shared_ptr<const Payload>>>
+                  scratch)
+      : self_(self), now_(now), outgoing_(std::move(scratch)) {
+    outgoing_.clear();
+  }
+
+  std::vector<std::pair<ProcessId, std::shared_ptr<const Payload>>>
+  take_outgoing() {
+    return std::move(outgoing_);
+  }
+
   ProcessId self() const { return self_; }
 
   /// Virtual time: the number of events executed so far in this execution.
@@ -42,9 +57,12 @@ class StepContext {
     outgoing_.emplace_back(dst, std::move(payload));
   }
 
+  /// Builds the payload on the thread-local pool (sim::make_payload) —
+  /// every protocol send allocates through the arena without the protocol
+  /// code knowing.
   template <class P, class... Args>
   void send_make(ProcessId dst, Args&&... args) {
-    send(dst, std::make_shared<const P>(std::forward<Args>(args)...));
+    send(dst, make_payload<P>(std::forward<Args>(args)...));
   }
 
   /// Outgoing (dst, payload) pairs accumulated this step.
@@ -82,7 +100,7 @@ class Process {
 
   /// One computation step: `inbox` contains every message drained from the
   /// income buffers (possibly none).  Outgoing messages go through `ctx`.
-  virtual void on_step(StepContext& ctx, const std::vector<Message>& inbox) = 0;
+  virtual void on_step(StepContext& ctx, const MessageVec& inbox) = 0;
 
   /// Deterministic digest of the local state, used to check configuration
   /// indistinguishability.  Two processes with equal digests must behave

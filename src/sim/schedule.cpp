@@ -1,6 +1,10 @@
 #include "sim/schedule.h"
 
+#include "obs/phase.h"
+
 namespace discs::sim {
+
+using detail::ParticipantSet;
 
 std::vector<ProcessId> all_processes(const Simulation& sim) {
   std::vector<ProcessId> out;
@@ -13,62 +17,16 @@ std::vector<ProcessId> all_processes(const Simulation& sim) {
 RunStats run_fair(Simulation& sim, const std::vector<ProcessId>& participants,
                   const StopCondition& stop, std::size_t budget,
                   std::size_t max_idle_rounds) {
-  std::vector<ProcessId> parts =
-      participants.empty() ? all_processes(sim) : participants;
-  RunStats stats;
-
-  auto within = [&](ProcessId p) {
-    for (auto q : parts)
-      if (q == p) return true;
-    return false;
-  };
-
-  std::size_t idle_rounds = 0;
-  while (stats.events() < budget) {
-    if (stop && stop(sim)) {
-      stats.stopped_by_condition = true;
-      return stats;
-    }
-    bool progressed = false;
-
-    // Deliver every message currently in flight between participants.
-    std::vector<MsgId> ids;
-    for (const auto& m : sim.network().in_flight())
-      if (within(m.src) && within(m.dst)) ids.push_back(m.id);
-    for (auto id : ids) {
-      if (stats.events() >= budget) return stats;
-      if (sim.deliver(id)) {
-        ++stats.deliveries;
-        progressed = true;
-        if (stop && stop(sim)) {
-          stats.stopped_by_condition = true;
-          return stats;
-        }
-      }
-    }
-
-    // Step each participant once.
-    for (auto p : parts) {
-      if (stats.events() >= budget) return stats;
-      bool had_income = !sim.network().income_of(p).empty();
-      std::size_t sent_before = sim.network().in_flight_count();
-      sim.step(p);
-      ++stats.steps;
-      if (had_income || sim.network().in_flight_count() != sent_before)
-        progressed = true;
-      if (stop && stop(sim)) {
-        stats.stopped_by_condition = true;
-        return stats;
-      }
-    }
-
-    if (progressed) {
-      idle_rounds = 0;
-    } else if (++idle_rounds > max_idle_rounds) {
-      return stats;  // nothing to do, even after letting time pass
-    }
-  }
-  return stats;
+  // One scheduling implementation: forward to the template with the
+  // std::function either called through or replaced by an inlined
+  // always-false predicate.
+  if (stop)
+    return run_fair_with(sim, participants,
+                         [&](const Simulation& s) { return stop(s); }, budget,
+                         max_idle_rounds);
+  return run_fair_with(sim, participants,
+                       [](const Simulation&) { return false; }, budget,
+                       max_idle_rounds);
 }
 
 RunStats run_to_quiescence(Simulation& sim,
@@ -80,26 +38,28 @@ RunStats run_to_quiescence(Simulation& sim,
 RunStats run_random(Simulation& sim,
                     const std::vector<ProcessId>& participants, Rng& rng,
                     const StopCondition& stop, std::size_t budget) {
-  std::vector<ProcessId> parts =
-      participants.empty() ? all_processes(sim) : participants;
+  std::vector<ProcessId> all;
+  if (participants.empty()) all = all_processes(sim);
+  const std::vector<ProcessId>& parts = participants.empty() ? all
+                                                             : participants;
   RunStats stats;
-
-  auto within = [&](ProcessId p) {
-    for (auto q : parts)
-      if (q == p) return true;
-    return false;
-  };
+  ParticipantSet within(parts, sim.process_count());
 
   std::size_t idle_rounds = 0;
+  std::vector<MsgId> deliverable;  // reused across rounds
   while (stats.events() < budget) {
     if (stop && stop(sim)) {
       stats.stopped_by_condition = true;
       return stats;
     }
 
-    std::vector<MsgId> deliverable;
-    for (const auto& m : sim.network().in_flight())
-      if (within(m.src) && within(m.dst)) deliverable.push_back(m.id);
+    deliverable.clear();
+    {
+      obs::PhaseScope ps(obs::Phase::kScheduler);
+      for (const auto& m : sim.network().in_flight())
+        if (within.contains(m.src) && within.contains(m.dst))
+          deliverable.push_back(m.id);
+    }
 
     // Bias toward delivery so protocols with background traffic cannot
     // outpace the network indefinitely; step events still occur often
@@ -111,7 +71,7 @@ RunStats run_random(Simulation& sim,
       idle_rounds = 0;
     } else {
       ProcessId p = parts[rng.pick_index(parts.size())];
-      bool had_income = !sim.network().income_of(p).empty();
+      bool had_income = sim.network().has_income(p);
       std::size_t before = sim.network().in_flight_count();
       sim.step(p);
       ++stats.steps;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/phase.h"
 #include "obs/registry.h"
 #include "util/fmt.h"
 
@@ -90,65 +91,104 @@ bool Simulation::step(ProcessId p) {
   DISCS_CHECK_MSG(p.valid() && p.value() < procs_.size(), "unknown process");
   if (crashed_[p.value()]) return false;
   Process& proc = mutable_process(p);
-  std::vector<Message> inbox = net_.drain_income(p);
+  MessageVec inbox = net_.drain_income(p);
 
-  StepContext ctx(p, now_);
-  proc.on_step(ctx, inbox);
+  // The outgoing buffer is recycled across steps (capacity survives); the
+  // drained inbox moves on into the trace record below, so neither side of
+  // the step pays a fresh allocation in steady state.
+  StepContext ctx(p, now_, std::move(outgoing_scratch_));
+  {
+    obs::PhaseScope ps(obs::Phase::kHandler);
+    proc.on_step(ctx, inbox);
+  }
 
+  const bool retained = trace_.retained();
   EventRecord rec;
-  rec.event = Event::step(p);
-  rec.consumed = inbox;
+  if (retained) {
+    rec.event = Event::step(p);
+    rec.consumed = std::move(inbox);
+  }
 
   // The model allows at most one message per neighbor per computation
   // step; several payloads to one destination are batched into a single
-  // message (message size is unbounded in the model).
-  std::vector<ProcessId> dst_order;
-  std::vector<std::vector<std::shared_ptr<const Payload>>> grouped;
-  for (const auto& [dst, payload] : ctx.outgoing()) {
+  // message (message size is unbounded in the model).  Distinct
+  // destinations keep first-send order; the quadratic scans are over the
+  // per-step send list, which is bounded by the cluster size.
+  const auto& outgoing = ctx.outgoing();
+  dst_scratch_.clear();
+  for (const auto& [dst, payload] : outgoing) {
     DISCS_CHECK_MSG(dst.valid() && dst.value() < procs_.size(),
                     "send to unknown process");
     DISCS_CHECK_MSG(dst != p, "self-send not allowed");
-    std::size_t slot = dst_order.size();
-    for (std::size_t i = 0; i < dst_order.size(); ++i)
-      if (dst_order[i] == dst) slot = i;
-    if (slot == dst_order.size()) {
-      dst_order.push_back(dst);
-      grouped.emplace_back();
-    }
-    grouped[slot].push_back(payload);
+    bool seen = false;
+    for (ProcessId q : dst_scratch_)
+      if (q == dst) {
+        seen = true;
+        break;
+      }
+    if (!seen) dst_scratch_.push_back(dst);
   }
-  for (std::size_t i = 0; i < dst_order.size(); ++i) {
+  if (retained) rec.sent.reserve(dst_scratch_.size());
+  for (ProcessId dst : dst_scratch_) {
+    const std::shared_ptr<const Payload>* only = nullptr;
+    std::size_t count = 0;
+    for (const auto& [d, payload] : outgoing)
+      if (d == dst) {
+        only = &payload;
+        ++count;
+      }
     Message m;
     m.id = make_msg_id(p, send_seq_[p.value()]++);
     m.src = p;
-    m.dst = dst_order[i];
-    m.payload = grouped[i].size() == 1
-                    ? grouped[i].front()
-                    : std::make_shared<const BatchPayload>(grouped[i]);
+    m.dst = dst;
+    if (count == 1) {
+      m.payload = *only;
+    } else {
+      std::vector<std::shared_ptr<const Payload>> parts;
+      parts.reserve(count);
+      for (const auto& [d, payload] : outgoing)
+        if (d == dst) parts.push_back(payload);
+      m.payload = make_payload<BatchPayload>(std::move(parts));
+    }
     counter_sent() += 1;
     count_sent_kind(*m.payload);
-    rec.sent.push_back(m);
+    if (retained) rec.sent.push_back(m);
     net_.post(std::move(m));
   }
+  outgoing_scratch_ = ctx.take_outgoing();
 
   counter_steps() += 1;
-  trace_.record(std::move(rec));
+  if (retained) {
+    obs::PhaseScope ps(obs::Phase::kTraceRecord);
+    trace_.record(std::move(rec));
+  } else {
+    trace_.record_unretained();
+  }
   ++now_;
   return true;
 }
 
 bool Simulation::deliver(MsgId id) {
-  auto found = net_.find_in_flight(id);
-  if (!found) return false;
-  if (crashed_[found->dst.value()]) return false;
-  bool ok = net_.deliver(id);
-  DISCS_CHECK(ok);
+  // One lookup: find, check the crash guard, move into the income buffer.
+  bool vetoed = false;
+  const Message* delivered = nullptr;
+  {
+    obs::PhaseScope ps(obs::Phase::kDeliver);
+    delivered = net_.deliver_if(
+        id, [this](ProcessId dst) { return !crashed_[dst.value()]; }, vetoed);
+  }
+  if (delivered == nullptr) return false;
 
-  EventRecord rec;
-  rec.event = Event::deliver(id);
-  rec.delivered = *found;
   counter_deliveries() += 1;
-  trace_.record(std::move(rec));
+  if (trace_.retained()) {
+    EventRecord rec;
+    rec.event = Event::deliver(id);
+    rec.delivered = *delivered;
+    obs::PhaseScope ps(obs::Phase::kTraceRecord);
+    trace_.record(std::move(rec));
+  } else {
+    trace_.record_unretained();
+  }
   ++now_;
   return true;
 }
@@ -273,8 +313,10 @@ std::size_t Simulation::deliver_all() {
 
 const std::string& Simulation::memoized_digest(std::size_t i) const {
   auto& slot = digest_memo_[i];
-  if (!slot)
+  if (!slot) {
+    obs::PhaseScope ps(obs::Phase::kDigest);
     slot = std::make_shared<const std::string>(procs_[i]->state_digest());
+  }
   return *slot;
 }
 

@@ -136,6 +136,12 @@ class Simulation {
   const Network& network() const { return net_; }
   const Trace& trace() const { return trace_; }
 
+  /// Opt-out of trace retention for high-volume sweeps (see
+  /// Trace::set_retained): the event sequence, digests and counters are
+  /// unchanged, but record bodies are dropped instead of stored, so the
+  /// trace cannot be rendered, exported or audited afterwards.
+  void set_trace_retention(bool on) { trace_.set_retained(on); }
+
   /// Virtual time: number of events applied so far.  Also the tick source
   /// for the simulated TrueTime clock.
   std::uint64_t now() const { return now_; }
@@ -162,6 +168,13 @@ class Simulation {
   /// COW gate: every mutable path into a process goes through here.
   Process& mutable_process(ProcessId p);
   const std::string& memoized_digest(std::size_t i) const;
+
+  /// Step scratch, recycled across step() calls so the per-step outgoing /
+  /// grouping vectors keep their capacity instead of reallocating per
+  /// event.  Never copied with the simulation (pure scratch).
+  std::vector<std::pair<ProcessId, std::shared_ptr<const Payload>>>
+      outgoing_scratch_;
+  std::vector<ProcessId> dst_scratch_;
 
   std::vector<std::shared_ptr<Process>> procs_;
   std::vector<std::uint64_t> send_seq_;  // per-process message sequence

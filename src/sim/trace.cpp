@@ -52,7 +52,11 @@ std::string EventRecord::describe() const {
 }
 
 void Trace::record(EventRecord rec) {
-  rec.seq = records_.size();
+  if (!retained_) {
+    ++unretained_;
+    return;
+  }
+  rec.seq = size();
   bool forks = records_.shared();
   records_.push_back(std::move(rec));
   if (forks) obs::Registry::global().inc("sim.trace.forks");

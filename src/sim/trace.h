@@ -65,8 +65,8 @@ struct Event {
 struct EventRecord {
   Event event;
   std::uint64_t seq = 0;          ///< position in the trace
-  std::vector<Message> consumed;  ///< messages drained at a step
-  std::vector<Message> sent;      ///< messages emitted at a step
+  MessageVec consumed;  ///< messages drained at a step
+  MessageVec sent;      ///< messages emitted at a step
   /// The message moved at a delivery; also the message affected by a
   /// drop / duplicate / retransmit fault event.
   Message delivered;
@@ -83,8 +83,23 @@ class Trace {
  public:
   void record(EventRecord rec);
 
+  /// Retention knob for high-volume sweeps (bench_table1-style workloads
+  /// that execute millions of transactions and never read the trace back).
+  /// With retention off, record() keeps only the event COUNT — size() and
+  /// thus TxWindow indices stay exact — and drops the record body, removing
+  /// the dominant per-event memory cost.  Retention is ON by default;
+  /// everything that replays, audits or exports traces leaves it on, and
+  /// the event sequence itself is unaffected either way.
+  void set_retained(bool on) { retained_ = on; }
+  bool retained() const { return retained_; }
+
+  /// Counts one event without a record body — the hot-path shortcut the
+  /// Simulation takes when retention is off, so it never builds the
+  /// EventRecord it would immediately drop.
+  void record_unretained() { ++unretained_; }
+
   std::span<const EventRecord> records() const { return records_.view(); }
-  std::size_t size() const { return records_.size(); }
+  std::size_t size() const { return records_.size() + unretained_; }
   const EventRecord& at(std::size_t i) const { return records_[i]; }
 
   /// The bare event sequence (for replay).
@@ -100,6 +115,9 @@ class Trace {
 
  private:
   util::CowVec<EventRecord> records_;
+  bool retained_ = true;
+  /// Events counted but not stored while retention was off.
+  std::size_t unretained_ = 0;
 };
 
 /// Filters an event-record span down to a bare event sequence, keeping only

@@ -1,0 +1,77 @@
+// Sorted-vector map with a std::map-compatible surface subset.
+//
+// The simulator's per-server maps are tiny (a handful of objects per store,
+// a handful of senders per dedup table) but sit on hot paths where
+// std::map's node allocations and pointer chases dominate: every COW store
+// clone copies the whole node tree, every lookup walks it.  FlatMap keeps
+// the entries in one contiguous, key-sorted vector: lookups are a binary
+// search over a cache line or two, clones are a single memcpy-ish vector
+// copy, and iteration order is identical to std::map — which is the
+// property that keeps digest bytes unchanged when swapping one for the
+// other.
+//
+// Only the surface the simulator uses is provided: operator[], find, count,
+// clear, size and ordered iteration.  Erasure happens via clear() or by
+// rebuilding; references/iterators follow vector invalidation rules.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace discs::util {
+
+template <class K, class V, class Less = std::less<K>>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return data_.begin(); }
+  iterator end() { return data_.end(); }
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void clear() { data_.clear(); }
+
+  V& operator[](const K& key) {
+    iterator it = lower(key);
+    if (it == data_.end() || Less{}(key, it->first))
+      it = data_.insert(it, value_type(key, V()));
+    return it->second;
+  }
+
+  iterator find(const K& key) {
+    iterator it = lower(key);
+    return (it == data_.end() || Less{}(key, it->first)) ? data_.end() : it;
+  }
+  const_iterator find(const K& key) const {
+    const_iterator it = lower(key);
+    return (it == data_.end() || Less{}(key, it->first)) ? data_.end() : it;
+  }
+
+  std::size_t count(const K& key) const {
+    return find(key) == data_.end() ? 0 : 1;
+  }
+
+  iterator erase(iterator it) { return data_.erase(it); }
+
+ private:
+  iterator lower(const K& key) {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& e, const K& k) { return Less{}(e.first, k); });
+  }
+  const_iterator lower(const K& key) const {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& e, const K& k) { return Less{}(e.first, k); });
+  }
+
+  std::vector<value_type> data_;
+};
+
+}  // namespace discs::util

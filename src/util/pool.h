@@ -1,0 +1,85 @@
+// Thread-local size-class pool allocator for simulator hot-path objects.
+//
+// Every simulated event allocates: a Payload control block per send, list
+// nodes for the in-flight set, vectors for income buffers and trace
+// records.  Under the Monte-Carlo and bench workloads these allocations are
+// the single largest wall-clock cost (they are invisible to gprof, which
+// only samples user code — see docs/PERFORMANCE.md), so the hot paths
+// allocate through this pool instead of the global heap.
+//
+// Design:
+//   * Size classes in 16-byte steps up to 512 bytes; larger requests fall
+//     through to operator new.
+//   * Each thread owns per-class freelists fed by 64 KiB bump-carved slabs.
+//     Allocation is: pop freelist, else carve slab — no locks, no syscalls.
+//   * Slabs are IMMORTAL: once carved they are never returned to the OS.
+//     This makes cross-thread frees safe by construction — a shared_ptr
+//     payload allocated on a Monte-Carlo worker may be released by the main
+//     thread; the block simply migrates to the releasing thread's freelist.
+//     The total slab footprint is bounded by the peak live bytes per thread
+//     (plus one slab of slack per class), which for this workload is a few
+//     MiB; "leaking" them at exit is deliberate and keeps every deallocation
+//     path wait-free.
+//   * When a thread exits, its freelists are spliced into a global orphan
+//     store (one mutex, touched only at thread exit and on slab-exhaustion
+//     slow paths); other threads refill from the orphan store before
+//     carving fresh slabs, so pooled memory recirculates across the
+//     Monte-Carlo harness's worker generations.
+//
+// The pool changes WHERE bytes live, never WHAT the simulator computes:
+// digests, traces and Table-1 outputs are byte-identical with the pool on
+// or off (tests/test_hotpath_identity.cpp pins this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace discs::util {
+
+class Pool {
+ public:
+  /// Largest request served from the pool; bigger ones use operator new.
+  static constexpr std::size_t kMaxPooled = 512;
+  /// All pooled blocks are 16-byte aligned (size classes are 16-byte steps).
+  static constexpr std::size_t kAlign = 16;
+
+  static void* allocate(std::size_t bytes);
+  static void deallocate(void* p, std::size_t bytes) noexcept;
+
+  /// Per-thread counters, for the PERFORMANCE.md playbook and the bench
+  /// reports.  Monotonic within a thread.
+  struct Stats {
+    std::uint64_t freelist_hits = 0;   ///< served by popping a freelist
+    std::uint64_t slab_carves = 0;     ///< served by bump-carving a slab
+    std::uint64_t orphan_refills = 0;  ///< freelist chains adopted from
+                                       ///< exited threads
+    std::uint64_t fallbacks = 0;       ///< > kMaxPooled, went to operator new
+    std::uint64_t slab_bytes = 0;      ///< slab memory this thread carved
+  };
+  static Stats stats();
+};
+
+/// Minimal std allocator over Pool, for allocate_shared payload control
+/// blocks and pooled containers.  Stateless: all instances are equal.
+template <class T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <class U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(Pool::allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    Pool::deallocate(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace discs::util

@@ -55,6 +55,9 @@ WorkloadResult run_workload_sequential(sim::Simulation& sim,
     clients.emplace_back(sim, c);
     clients_ro.emplace_back(std::as_const(sim), c);
   }
+  // Hoisted participant list: run_fair borrows it per call instead of
+  // rebuilding all_processes() once per transaction.
+  const std::vector<ProcessId> all_parts = sim::all_processes(sim);
 
   for (std::size_t i = 0; i < cfg.num_txs; ++i) {
     std::size_t slot = i % cluster.clients.size();
@@ -71,19 +74,23 @@ WorkloadResult run_workload_sequential(sim::Simulation& sim,
     w.invoked_at = sim.trace().size();
 
     clients[slot]->invoke(spec);
-    sim::run_fair(sim, {},
-                  [&](const sim::Simulation&) {
-                    return clients_ro[slot]->has_completed(spec.id);
-                  },
-                  cfg.budget_per_tx);
+    // One transaction at a time, so "client idle again" and "spec.id
+    // completed" flip at the same event; idle() is a flag read where
+    // has_completed() is a map lookup, and this stop runs per event.
+    sim::run_fair_with(sim, all_parts,
+                       [&](const sim::Simulation&) {
+                         return clients_ro[slot]->idle();
+                       },
+                       cfg.budget_per_tx);
     w.trace_end = sim.trace().size();
     w.completed = clients_ro[slot]->has_completed(spec.id);
     if (!w.completed) ++result.incomplete;
     result.windows.push_back(w);
   }
 
-  result.history =
-      discs::proto::collect_history(sim, cluster.clients, cluster.initial_values);
+  if (cfg.collect_history)
+    result.history = discs::proto::collect_history(sim, cluster.clients,
+                                                   cluster.initial_values);
   return result;
 }
 
@@ -163,8 +170,9 @@ WorkloadResult run_concurrent_impl(
   }
 
   result.incomplete = active.size();
-  result.history =
-      discs::proto::collect_history(sim, cluster.clients, cluster.initial_values);
+  if (cfg.collect_history)
+    result.history = discs::proto::collect_history(sim, cluster.clients,
+                                                   cluster.initial_values);
   return result;
 }
 

@@ -35,6 +35,10 @@ struct WorkloadConfig {
   double zipf_theta = 0.0;        ///< 0 = uniform object choice
   std::uint64_t seed = 1;
   std::size_t budget_per_tx = 40000;
+  /// When false, the drivers skip the final merged-history construction
+  /// (WorkloadResult::history stays empty).  Throughput sweeps that never
+  /// check the history opt out; everything that audits keeps the default.
+  bool collect_history = true;
 };
 
 /// Draws one transaction spec.

@@ -26,7 +26,7 @@ class Echo : public Process {
   std::unique_ptr<Process> clone() const override {
     return std::make_unique<Echo>(*this);
   }
-  void on_step(StepContext& ctx, const std::vector<Message>& inbox) override {
+  void on_step(StepContext& ctx, const MessageVec& inbox) override {
     for (const auto& m : inbox) {
       if (const auto* p = m.as<Ping>()) {
         ++received_;
@@ -195,7 +195,7 @@ TEST_F(SimFixture, MultipleSendsToOneNeighborAreBatched) {
     std::unique_ptr<Process> clone() const override {
       return std::make_unique<Chatty>(*this);
     }
-    void on_step(StepContext& ctx, const std::vector<Message>&) override {
+    void on_step(StepContext& ctx, const MessageVec&) override {
       ctx.send_make<Ping>(dst, 1);
       ctx.send_make<Ping>(dst, 2);
     }
@@ -313,7 +313,7 @@ TEST_F(SimFixture, ProcessAsTypeChecked) {
     std::unique_ptr<Process> clone() const override {
       return std::make_unique<Other>(*this);
     }
-    void on_step(StepContext&, const std::vector<Message>&) override {}
+    void on_step(StepContext&, const MessageVec&) override {}
     std::string state_digest() const override { return ""; }
   };
   EXPECT_NO_THROW(sim.process_as<Echo>(a));
