@@ -16,15 +16,22 @@
 // registration fails or zero benchmarks run.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <exception>
+#include <functional>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "clock/clocks.h"
 #include "kv/store.h"
 #include "obs/phase.h"
+#include "obs/registry.h"
+#include "par/parallel.h"
 #include "proto/common/client.h"
 #include "proto/registry.h"
 #include "sim/schedule.h"
@@ -231,6 +238,72 @@ void BM_FairSchedulerSteps(benchmark::State& state) {
   }
 }
 
+/// The pre-pool parallel_for, inlined verbatim as the "before" side of the
+/// dispatch-overhead comparison: a fresh set of jthreads is spawned and
+/// joined on every call, items are claimed one at a time, and each worker
+/// copies the whole thread-local registry at exit.  par::parallel_for now
+/// reuses a persistent pool (par/pool.h); BM_ParallelForSpawn /
+/// BM_ParallelForPooled measure the same tiny batch through both paths so
+/// the per-call spawn+join cost is isolated from job work.
+void legacy_spawn_for(std::size_t n,
+                      const std::function<void(std::size_t)>& job,
+                      std::size_t threads) {
+  if (n == 0) return;
+  std::size_t workers = threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : threads;
+  workers = std::min(workers, n);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<obs::Registry> worker_counts(workers);
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        while (true) {
+          std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) break;
+          try {
+            job(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+        worker_counts[w] = obs::Registry::global();
+      });
+    }
+  }  // jthreads join here
+  auto& mine = obs::Registry::global();
+  for (const auto& wc : worker_counts) mine.absorb(wc);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+constexpr std::size_t kParItems = 256;
+constexpr std::size_t kParThreads = 4;
+
+/// Trivial per-item job: dispatch overhead dominates, which is the cost
+/// the pool removes.  A counter bump per item keeps the registry-fold path
+/// (the other per-call cost) honest in both variants.
+void par_job(std::size_t i) {
+  obs::Registry::global().counter("bench.par.items") += 1;
+  benchmark::DoNotOptimize(i);
+}
+
+void BM_ParallelForSpawn(benchmark::State& state) {
+  for (auto _ : state) legacy_spawn_for(kParItems, par_job, kParThreads);
+}
+
+void BM_ParallelForPooled(benchmark::State& state) {
+  for (auto _ : state) par::parallel_for(kParItems, par_job, kParThreads);
+}
+
 /// `--phases`: instead of benchmarking, run each workload once with the
 /// wall-clock phase profiler on and print where host cycles go (handler /
 /// deliver / trace_record / digest / scheduler).  This is the "after"
@@ -302,6 +375,8 @@ bool register_benchmarks(bool smoke) {
           ->Arg(n);
     benchmark::RegisterBenchmark("BM_FairSchedulerSteps",
                                  BM_FairSchedulerSteps);
+    benchmark::RegisterBenchmark("BM_ParallelForSpawn", BM_ParallelForSpawn);
+    benchmark::RegisterBenchmark("BM_ParallelForPooled", BM_ParallelForPooled);
   } catch (const std::exception& e) {
     std::cerr << "bench_sim: benchmark registration failed: " << e.what()
               << "\n";

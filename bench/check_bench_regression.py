@@ -13,7 +13,8 @@ Two artifact flavors are understood:
   only when protocol or harness behavior changes, which is exactly what the
   guard is for.  Decreases are improvements and always pass.
 
-* google-benchmark reports (BENCH_sim.json / BENCH_faults.json): wall times
+* google-benchmark reports (BENCH_sim.json / BENCH_faults.json /
+  BENCH_rt.json): wall times
   are machine-dependent, so only coverage is enforced — every benchmark
   family named in the baseline must still be registered and measured in the
   current run.  A silently vanished benchmark is a regression in what CI

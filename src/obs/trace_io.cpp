@@ -61,23 +61,18 @@ ExportedMessage ExportedMessage::from(const sim::Message& m, bool spans) {
   return out;
 }
 
-TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
-                  const ClusterConfig& cfg, const sim::Simulation& sim,
-                  const Cluster& cluster, std::vector<InvokeRecord> invokes) {
-  TraceDoc doc;
-  doc.protocol = protocol.name();
-  doc.scenario = std::move(scenario);
-  doc.cluster = cfg;
-  doc.initial = cluster.initial_values;
-  doc.invokes = std::move(invokes);
-  std::sort(doc.invokes.begin(), doc.invokes.end(),
+void sort_invokes(std::vector<InvokeRecord>& invokes) {
+  std::sort(invokes.begin(), invokes.end(),
             [](const InvokeRecord& a, const InvokeRecord& b) {
               return a.at != b.at ? a.at < b.at
                                   : a.spec.id.value() < b.spec.id.value();
             });
-  const bool spans = cfg.record_spans;
+}
+
+bool export_event_records(std::span<const sim::EventRecord> records,
+                          bool spans, TraceDoc& doc) {
   bool any_fault = false;
-  for (const auto& rec : sim.trace().records()) {
+  for (const auto& rec : records) {
     ExportedEvent e;
     e.event = rec.event;
     e.seq = rec.seq;
@@ -102,6 +97,21 @@ TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
     }
     doc.events.push_back(std::move(e));
   }
+  return any_fault;
+}
+
+TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
+                  const ClusterConfig& cfg, const sim::Simulation& sim,
+                  const Cluster& cluster, std::vector<InvokeRecord> invokes) {
+  TraceDoc doc;
+  doc.protocol = protocol.name();
+  doc.scenario = std::move(scenario);
+  doc.cluster = cfg;
+  doc.initial = cluster.initial_values;
+  doc.invokes = std::move(invokes);
+  sort_invokes(doc.invokes);
+  const bool spans = cfg.record_spans;
+  bool any_fault = export_event_records(sim.trace().records(), spans, doc);
   // Fault-free documents keep the v1 header so their bytes are identical to
   // what a v1 exporter wrote (see trace_io.h).
   doc.schema = any_fault ? std::string(kTraceSchemaV2)
@@ -231,6 +241,10 @@ Json header_json(const TraceDoc& doc) {
   }
   if (doc.cluster.record_spans)
     cluster.emplace_back("record_spans", Json(true));
+  if (doc.cluster.client_retransmit_after > 0)
+    cluster.emplace_back(
+        "client_retransmit_after",
+        Json(std::uint64_t(doc.cluster.client_retransmit_after)));
   return Json(JsonObject{
       {"record", Json("header")},
       {"schema", Json(doc.schema)},
@@ -405,6 +419,8 @@ TraceDoc import_jsonl(std::string_view text) {
         doc.cluster.journal_compact_threshold = th->as_uint();
       if (const Json* rs = c.find("record_spans"))
         doc.cluster.record_spans = rs->as_bool();
+      if (const Json* cr = c.find("client_retransmit_after"))
+        doc.cluster.client_retransmit_after = cr->as_uint();
       for (const auto& pair : j.get("initial").as_array()) {
         const auto& kv = pair.as_array();
         DISCS_CHECK_MSG(kv.size() == 2, "trace: malformed initial pair");

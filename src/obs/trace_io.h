@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -121,6 +122,20 @@ TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
                   const proto::ClusterConfig& cfg, const sim::Simulation& sim,
                   const proto::Cluster& cluster,
                   std::vector<InvokeRecord> invokes);
+
+/// Appends `records` to doc.events (one ExportedEvent per record, message
+/// metadata included; cause annotations when `spans`).  Returns true when
+/// any fault event was seen — the exporter's v1-vs-v2 schema decision.
+/// Shared by make_doc and the rt backend's capture path, which assembles
+/// its EventRecords from per-thread sinks instead of a sim::Trace; one
+/// exporter means the two backends cannot drift.
+bool export_event_records(std::span<const sim::EventRecord> records,
+                          bool spans, TraceDoc& doc);
+
+/// Sorts invokes into the canonical artifact order: by (at, tx id).  The
+/// exporters apply this before serialization so equal captures are
+/// byte-equal regardless of collection order.
+void sort_invokes(std::vector<InvokeRecord>& invokes);
 
 /// Serializes to JSONL (one JSON object per line, deterministic bytes).
 std::string export_jsonl(const TraceDoc& doc);

@@ -1,61 +1,10 @@
 #include "par/parallel.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
-
-#include "obs/registry.h"
-
 namespace discs::par {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& job,
                   std::size_t threads) {
-  if (n == 0) return;
-  std::size_t workers = threads == 0
-                            ? std::max(1u, std::thread::hardware_concurrency())
-                            : threads;
-  workers = std::min(workers, n);
-
-  if (workers == 1) {
-    for (std::size_t i = 0; i < n; ++i) job(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  // Each worker accumulates counts in its own thread-local registry with
-  // zero cross-thread contention; the deltas are folded into the caller's
-  // registry at the join below, so fuzz-run counts stay observable.
-  std::vector<obs::Registry> worker_counts(workers);
-
-  {
-    std::vector<std::jthread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        while (true) {
-          std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) break;
-          try {
-            job(i);
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-          }
-        }
-        // This thread's registry started empty (threads are fresh per
-        // call), so it holds exactly this worker's deltas.
-        worker_counts[w] = obs::Registry::global();
-      });
-    }
-  }  // jthreads join here
-
-  auto& mine = obs::Registry::global();
-  for (const auto& wc : worker_counts) mine.absorb(wc);
-  if (first_error) std::rethrow_exception(first_error);
+  parallel_for_each(n, [&](std::size_t i) { job(i); }, threads);
 }
 
 }  // namespace discs::par

@@ -3,11 +3,20 @@
 // The simulator core is deterministic and single-threaded by design (the
 // proof machinery depends on exact replay).  Parallelism lives one level
 // up: independent whole simulations — fuzz seeds, parameter sweep points —
-// run concurrently on a small jthread pool.
+// run concurrently on the persistent shared worker pool (par/pool.h), the
+// same pool the rt backend's event loops run on.
+//
+// Two entry points:
+//   parallel_for_each (pool.h)  template-dispatched, chunked index claiming
+//                               — the fast path, no per-item type erasure;
+//   parallel_for (below)        the historical std::function signature,
+//                               forwarding to parallel_for_each.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+
+#include "par/pool.h"
 
 namespace discs::par {
 

@@ -1,0 +1,154 @@
+#include "par/pool.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "obs/registry.h"
+#include "util/check.h"
+
+namespace discs::par {
+
+namespace {
+// Set while the current thread is executing a pool task; a nested
+// run_batch call must not wait on the batch mutex (the outer batch holds
+// it until this very task returns), so it runs inline instead.
+thread_local bool t_in_pool_task = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  struct Worker {
+    std::thread thread;
+    obs::Registry* registry = nullptr;   ///< the thread's thread-local
+    std::function<void()>* task = nullptr;
+    bool ready = false;                  ///< registry pointer published
+  };
+
+  /// Serializes whole batches: held from dispatch through registry fold.
+  std::mutex batch_mutex;
+  /// Protects the per-worker task slots and the counters below.
+  std::mutex mutex;
+  std::condition_variable work_cv;   // workers wait for a task
+  std::condition_variable done_cv;   // run_batch waits for completion
+  std::vector<Worker*> workers;
+  std::size_t remaining = 0;
+  std::exception_ptr first_error;
+  bool stopping = false;
+
+  void worker_main(Worker* self) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      self->registry = &obs::Registry::global();
+      self->ready = true;
+    }
+    done_cv.notify_all();
+    for (;;) {
+      std::function<void()>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock,
+                     [&] { return self->task != nullptr || stopping; });
+        if (self->task == nullptr && stopping) return;
+        task = self->task;
+      }
+      t_in_pool_task = true;
+      try {
+        (*task)();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      t_in_pool_task = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        self->task = nullptr;
+        if (--remaining == 0) done_cv.notify_all();
+      }
+    }
+  }
+
+  /// Grows the pool to at least n threads; caller holds batch_mutex.
+  void ensure_threads(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (workers.size() < n) {
+      auto* w = new Worker;
+      workers.push_back(w);
+      w->thread = std::thread([this, w] { worker_main(w); });
+    }
+    // Wait until every new thread published its registry pointer, so the
+    // fold after the batch reads initialized pointers.
+    done_cv.wait(lock, [&] {
+      for (auto* w : workers)
+        if (!w->ready) return false;
+      return true;
+    });
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto* w : impl_->workers) {
+    if (w->thread.joinable()) w->thread.join();
+    delete w;
+  }
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+std::size_t ThreadPool::threads() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->workers.size();
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (t_in_pool_task) {
+    // Nested batch from inside a pool task: run inline (see pool.h).
+    for (auto& t : tasks) t();
+    return;
+  }
+
+  std::lock_guard<std::mutex> batch(impl_->batch_mutex);
+  impl_->ensure_threads(tasks.size());
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->first_error = nullptr;
+    impl_->remaining = tasks.size();
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      impl_->workers[i]->task = &tasks[i];
+    impl_->work_cv.notify_all();
+    impl_->done_cv.wait(lock, [&] { return impl_->remaining == 0; });
+  }
+
+  // All tasks returned (the done_cv wait synchronizes-with their final
+  // unlock), so the participating threads are quiescent: fold their deltas
+  // into the caller and re-zero them for the next batch.  reset() keeps
+  // registry nodes alive, preserving references the pool threads cached.
+  auto& mine = obs::Registry::global();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    obs::Registry* theirs = impl_->workers[i]->registry;
+    DISCS_CHECK(theirs != nullptr);
+    mine.absorb(*theirs);
+    theirs->reset();
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    err = impl_->first_error;
+    impl_->first_error = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace discs::par

@@ -1,0 +1,125 @@
+// Persistent shared worker pool.
+//
+// parallel_for used to spawn a fresh std::jthread set on every call — fine
+// for coarse Monte-Carlo sweeps, but thread creation dominates short
+// batches and the rt backend needs long-lived workers.  This pool keeps its
+// threads across calls (growing on demand, never shrinking) and exposes one
+// primitive: run a batch of tasks, one task per pool thread, and block
+// until all of them return.
+//
+// Registry contract: pool threads accumulate counts into their own
+// thread-local obs::Registry during a batch (zero cross-thread contention,
+// same as the old fresh-thread scheme).  At the join, run_batch folds every
+// participating thread's registry into the caller's via Registry::absorb
+// and then reset()s it — reset keeps registry nodes alive, so references
+// cached by pool threads (CounterFamily entries, hot-path counters) stay
+// valid across batches while each batch still observes exactly its own
+// deltas.
+//
+// Concurrency contract: one batch runs at a time; concurrent run_batch
+// callers serialize on an internal mutex.  A run_batch call from INSIDE a
+// pool task would deadlock on that mutex, so nested calls run their tasks
+// inline on the calling thread instead (their counts then land in the pool
+// thread's registry and are absorbed with it — nothing is lost).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace discs::par {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool (created on first use, threads joined at exit).
+  static ThreadPool& shared();
+
+  /// Runs every task concurrently, one per pool thread (growing the pool to
+  /// tasks.size() threads if needed), and blocks until all of them return.
+  /// Folds the participating threads' registries into the caller's at the
+  /// join.  Rethrows the first task exception after all tasks finished.
+  /// Tasks may run for arbitrarily long (the rt backend parks its event
+  /// loops here), but must all be part of ONE batch — a task must never
+  /// call run_batch itself expecting parallelism (see header comment).
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+  /// Current pool size (threads created so far).
+  std::size_t threads() const;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Runs job(i) for i in [0, n) across up to `threads` pool workers
+/// (hardware concurrency when 0), claiming indices in chunks to amortize
+/// the dispatch.  `job` is dispatched through the template — no
+/// std::function call per item.  Blocks until all jobs finish; exceptions
+/// escape from the first failing job after all workers joined (remaining
+/// jobs still run, matching the historical parallel_for contract).
+template <class F>
+void parallel_for_each(std::size_t n, F&& job, std::size_t threads = 0);
+
+}  // namespace discs::par
+
+// --- implementation --------------------------------------------------------
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace discs::par {
+
+template <class F>
+void parallel_for_each(std::size_t n, F&& job, std::size_t threads) {
+  if (n == 0) return;
+  std::size_t workers = threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : threads;
+  workers = std::min(workers, n);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+
+  // Chunked claiming: one fetch_add per chunk instead of per item.  Small
+  // chunks keep the tail balanced; 8 chunks per worker is the usual
+  // compromise for irregular job costs (fuzz seeds vary wildly).
+  const std::size_t chunk =
+      std::max<std::size_t>(1, n / (workers * 8));
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    tasks.emplace_back([&] {
+      while (true) {
+        std::size_t base = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (base >= n) break;
+        std::size_t end = std::min(base + chunk, n);
+        for (std::size_t i = base; i < end; ++i) {
+          try {
+            job(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      }
+    });
+  }
+  ThreadPool::shared().run_batch(std::move(tasks));
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace discs::par

@@ -1,0 +1,90 @@
+// Retransmit backoff ladder — one timeout arithmetic, two tick domains.
+//
+// ClientBase's retransmit hook and the rt backend's wall-clock retransmit
+// timers share this implementation.  The ladder counts abstract *ticks*:
+//
+//   - the simulator feeds it one tick per stalled computation step (a step
+//     that neither received nor sent anything for the active transaction);
+//   - the rt backend's submitter threads fire one empty client step per
+//     elapsed wall-clock retransmit period (rt::Clock), and that step takes
+//     the same stalled-step path — so a wall-clock deadline maps onto the
+//     ladder without a second implementation of the arithmetic.
+//
+// The ladder state is digest-visible (ClientBase renders it into the "rtx"
+// field), so the arithmetic must stay deterministic: the jitter term is the
+// stateless eo_jitter over digest-visible inputs, never an RNG.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "proto/common/exactly_once.h"
+
+namespace discs::proto {
+
+/// Capped exponential backoff with deterministic jitter.  All methods are
+/// O(1) and allocation-free; the owner provides the jitter identity inputs
+/// (client id + session incarnation) on each query so the ladder itself
+/// carries no references.
+class BackoffLadder {
+ public:
+  /// Base threshold in ticks; 0 disables the ladder (ticks never fire).
+  void set_base(std::size_t base) { base_ = base; }
+  std::size_t base() const { return base_; }
+  bool enabled() const { return base_ > 0; }
+
+  std::size_t stalls() const { return stalls_; }
+  std::size_t attempt() const { return attempt_; }
+  std::uint64_t total() const { return total_; }
+
+  /// One stalled tick.  Returns true when the accumulated stall reaches the
+  /// current threshold — the caller should retransmit and then call fire().
+  bool tick(std::uint64_t client, std::uint64_t session) {
+    return ++stalls_ >= threshold(client, session);
+  }
+
+  /// Traffic observed (or the transaction completed): restart the ladder.
+  /// Matches the reset the digest contract pins — both counters to zero,
+  /// the lifetime total untouched.
+  void reset() {
+    stalls_ = 0;
+    attempt_ = 0;
+  }
+
+  /// Account one fired retransmit: clears the stall count and widens the
+  /// next window.  Returns the stall ticks that elapsed before this firing
+  /// (the delay the caller may want to record).
+  std::size_t fire() {
+    std::size_t delayed = stalls_;
+    stalls_ = 0;
+    ++attempt_;
+    ++total_;
+    return delayed;
+  }
+
+  /// True once the window has saturated at the 64x cap (attempt > 6);
+  /// meaningful right after fire().
+  bool capped() const { return attempt_ > kMaxShift; }
+
+  /// Stall threshold for the next retransmit: base << attempt (capped at
+  /// 64x) plus deterministic jitter in [0, base).  Equal-digest clients
+  /// jitter identically; distinct clients desynchronize.
+  std::size_t threshold(std::uint64_t client, std::uint64_t session) const {
+    std::size_t shift = std::min(attempt_, kMaxShift);
+    std::size_t window = base_ << shift;
+    std::uint64_t j = eo_jitter(client, session, total_, attempt_);
+    return window +
+           (base_ > 1 ? static_cast<std::size_t>(j % base_) : 0);
+  }
+
+ private:
+  static constexpr std::size_t kMaxShift = 6;  // cap the window at base * 64
+
+  std::size_t base_ = 0;
+  std::size_t stalls_ = 0;
+  std::size_t attempt_ = 0;    ///< consecutive retransmits, resets on traffic
+  std::uint64_t total_ = 0;    ///< lifetime firings, jitter input
+};
+
+}  // namespace discs::proto

@@ -30,8 +30,7 @@ void ClientBase::invoke(const TxSpec& spec) {
   started_ = false;
   max_rot_round_ = 0;
   read_results_.clear();
-  stall_steps_ = 0;
-  backoff_attempt_ = 0;
+  ladder_.reset();
   tx_sends_.clear();
   span_waves_ = 0;
   obs::Registry::global().inc(spec.read_only() ? "client.invoke.read"
@@ -103,38 +102,21 @@ void ClientBase::on_step(sim::StepContext& ctx,
   // (no traffic in either direction) past the backoff threshold re-sends
   // everything it has sent so far (requests presumed lost).  The re-sent
   // steps capture nothing new, so the send log cannot self-amplify.
-  if (retransmit_after_ > 0 && active_ && started_) {
+  if (ladder_.enabled() && active_ && started_) {
     if (inbox.empty() && ctx.outgoing().empty()) {
-      if (++stall_steps_ >= backoff_threshold()) {
+      if (ladder_.tick(id().value(), stamper_.session())) {
         auto& reg = obs::Registry::global();
-        reg.inc("client.backoff.delay_steps", stall_steps_);
         for (const auto& [dst, payload] : tx_sends_) ctx.send(dst, payload);
-        stall_steps_ = 0;
-        ++backoff_attempt_;
-        ++total_retransmits_;
+        reg.inc("client.backoff.delay_steps", ladder_.fire());
         reg.inc("client.retransmits");
         reg.inc("client.backoff.retransmits");
-        if (backoff_attempt_ > 6) reg.inc("client.backoff.capped");
+        if (ladder_.capped()) reg.inc("client.backoff.capped");
       }
     } else {
-      stall_steps_ = 0;
-      backoff_attempt_ = 0;  // progress: restart the backoff ladder
+      ladder_.reset();  // progress: restart the backoff ladder
       for (const auto& entry : ctx.outgoing()) tx_sends_.push_back(entry);
     }
   }
-}
-
-std::size_t ClientBase::backoff_threshold() const {
-  constexpr std::size_t kMaxShift = 6;  // cap the window at base * 64
-  std::size_t shift = std::min(backoff_attempt_, kMaxShift);
-  std::size_t base = retransmit_after_ << shift;
-  // Stateless jitter over digest-visible inputs: equal-digest clients
-  // jitter identically, distinct clients desynchronize.
-  std::uint64_t j = eo_jitter(id().value(), stamper_.session(),
-                              total_retransmits_, backoff_attempt_);
-  return base + (retransmit_after_ > 1
-                     ? static_cast<std::size_t>(j % retransmit_after_)
-                     : 0);
 }
 
 void ClientBase::on_crash() {
@@ -209,8 +191,7 @@ void ClientBase::complete_active(sim::StepContext& ctx) {
   // Done path resets ALL retransmit/backoff state: a stall accumulated at
   // the end of one transaction must not leak a head start (or an inflated
   // backoff window) into the next one.
-  stall_steps_ = 0;
-  backoff_attempt_ = 0;
+  ladder_.reset();
   tx_sends_.clear();
   // Every request issued so far belongs to a completed transaction (one
   // transaction at a time), so servers may prune their dedup entries.
@@ -240,10 +221,10 @@ std::string ClientBase::state_digest() const {
   b.field("done", completed_.size());
   // Only present when the respective layer is on, so default digests are
   // unchanged by its existence.
-  if (retransmit_after_ > 0)
-    b.field("rtx", cat(retransmit_after_, "/", stall_steps_, "/",
-                       tx_sends_.size(), "/a", backoff_attempt_, "/t",
-                       total_retransmits_));
+  if (ladder_.enabled())
+    b.field("rtx", cat(ladder_.base(), "/", ladder_.stalls(), "/",
+                       tx_sends_.size(), "/a", ladder_.attempt(), "/t",
+                       ladder_.total()));
   if (view_.exactly_once) b.field("eo", stamper_.digest());
   b.raw(proto_digest());
   return b.str();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "history/history.h"
+#include "proto/common/backoff.h"
 #include "proto/common/cluster.h"
 #include "proto/common/exactly_once.h"
 #include "proto/common/payloads.h"
@@ -52,7 +53,10 @@ class ClientBase : public sim::Process {
   /// session layer, duplicates reach protocol handlers and the old caveat
   /// applies: enable only for duplicate-tolerant protocols (the
   /// engine-level Simulation::retransmit is exactly-once and always safe).
-  void set_retransmit_after(std::size_t steps) { retransmit_after_ = steps; }
+  /// The tick domain is the caller's: the simulator counts stalled steps,
+  /// the rt backend fires one empty step per wall-clock retransmit period —
+  /// both drive the same BackoffLadder (proto/common/backoff.h).
+  void set_retransmit_after(std::size_t steps) { ladder_.set_base(steps); }
 
   bool idle() const { return !active_.has_value(); }
   bool has_completed(TxId tx) const { return completed_.count(tx) > 0; }
@@ -103,20 +107,15 @@ class ClientBase : public sim::Process {
   std::map<ObjectId, ValueId> read_results_;
   std::map<TxId, std::map<ObjectId, ValueId>> completed_;
   hist::History history_;
-  // Retransmit hook state (inert while retransmit_after_ == 0).
-  std::size_t retransmit_after_ = 0;
-  std::size_t stall_steps_ = 0;
-  std::size_t backoff_attempt_ = 0;     ///< consecutive retransmits, resets
-                                        ///< on traffic and on completion
-  std::uint64_t total_retransmits_ = 0; ///< lifetime, jitter input
+  /// Retransmit hook state (inert while the ladder's base is 0).  The
+  /// arithmetic lives in BackoffLadder, shared with the rt backend's
+  /// wall-clock timers; the digest renders the ladder fields byte-for-byte
+  /// as before the factoring (pinned by test_hotpath_identity).
+  BackoffLadder ladder_;
   std::vector<std::pair<ProcessId, std::shared_ptr<const sim::Payload>>>
       tx_sends_;  ///< every send of the active transaction, for re-sending
   /// Exactly-once sender state (inert unless view_.exactly_once).
   SessionStamper stamper_;
-
-  /// Stall threshold for the next retransmit: base << attempt (capped at
-  /// 64x) plus deterministic jitter in [0, base).
-  std::size_t backoff_threshold() const;
 };
 
 /// Merges the local histories of the given clients with the initial-value

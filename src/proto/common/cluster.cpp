@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/span.h"
+#include "proto/common/client.h"
 #include "proto/common/server.h"
 #include "util/check.h"
 
@@ -113,6 +114,11 @@ Cluster Protocol::build(sim::Simulation& sim, const ClusterConfig& cfg,
 
   for (std::size_t c = 0; c < cfg.num_clients; ++c)
     cluster.clients.push_back(add_client(sim, cluster.view));
+
+  if (cfg.client_retransmit_after > 0)
+    for (auto cid : cluster.clients)
+      sim.process_as<ClientBase>(cid).set_retransmit_after(
+          cfg.client_retransmit_after);
 
   return cluster;
 }

@@ -75,6 +75,13 @@ struct ClusterConfig {
   /// profiled offline (obs/span_dag.h).  Purely additive: simulation
   /// behavior, digests and span-free trace bytes are unchanged.
   bool record_spans = false;
+  /// When nonzero, Protocol::build arms every client's retransmit backoff
+  /// ladder (ClientBase::set_retransmit_after) with this base.  Carried in
+  /// the trace header so a captured run with retransmits enabled — e.g. an
+  /// rt-backend run pacing the ladder off wall-clock ticks — rebuilds into
+  /// clients with the same ladder and replays byte-exactly.  0 (default)
+  /// keeps digests and trace bytes identical to pre-knob builds.
+  std::size_t client_retransmit_after = 0;
 };
 
 /// Result of building a cluster into a simulation.

@@ -57,6 +57,15 @@ void Client::after_round1(sim::StepContext& ctx) {
     // Sibling versions share the commit timestamp of this item.
     for (const auto& sib : item.siblings) consider(sib.object, item.ts);
   }
+  // Session floors: what this client already observed — its own writes and
+  // prior reads (context_) — must never regress.  A round-1 reply can be
+  // older than the client's context when the committing transaction's
+  // Commit message is still queued at that participant (the coordinator
+  // replied to the writer after collecting prepare-acks, so the version is
+  // at least pending everywhere).  Fair schedules apply commits before the
+  // next read arrives, which is why only genuinely skewed (rt-backend)
+  // schedules ever exposed the missing floor.
+  for (const auto& [obj, dep] : context_) consider(obj, dep.ts);
 
   if (need_.empty()) {
     maybe_complete(ctx);

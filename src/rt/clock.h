@@ -1,0 +1,90 @@
+// Wall-clock abstraction for the rt backend's timers.
+//
+// The rt submitter threads pace retransmit timeouts and idle steps off a
+// Clock instead of std::chrono directly, so tests can substitute a
+// deterministic FakeClock: the wall-clock timeout retransmit test advances
+// fake time instead of sleeping, making the test immune to scheduler noise
+// while exercising exactly the production code path.
+//
+// Division of labor with the backoff arithmetic (proto/common/backoff.h):
+// the Clock decides *when one retransmit tick has elapsed* (a wall-clock
+// period); the BackoffLadder inside ClientBase decides *how many ticks*
+// must accumulate before a retransmit fires and how the window widens.
+// One arithmetic, two tick domains — the simulator feeds the ladder
+// stalled steps, the rt backend feeds it elapsed periods.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace discs::rt {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds since an arbitrary epoch.
+  virtual std::uint64_t now_us() = 0;
+
+  /// True when waiting on this clock consumes real time (the runtime then
+  /// parks threads on condition variables); false for fake clocks, where
+  /// a "wait" merely advances fake time and returns immediately.
+  virtual bool real_time() const { return true; }
+
+  /// Fake clocks advance here when a waiter would otherwise sleep until
+  /// `deadline_us`; real clocks do nothing (the caller parks instead).
+  virtual void on_wait_until(std::uint64_t /*deadline_us*/) {}
+};
+
+/// The production clock: std::chrono::steady_clock.
+class WallClock final : public Clock {
+ public:
+  std::uint64_t now_us() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Process-wide instance (the Options default).
+  static WallClock& instance() {
+    static WallClock clock;
+    return clock;
+  }
+};
+
+/// Deterministic manual clock for tests.  now_us() never moves on its own;
+/// a waiter that would sleep jumps fake time to its deadline instead
+/// (auto-advance), so retransmit periods "elapse" immediately and
+/// deterministically while the rest of the engine keeps running for real.
+/// Thread-safe: submitters and the test body may query concurrently.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t start_us = 0) : now_(start_us) {}
+
+  std::uint64_t now_us() override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  bool real_time() const override { return false; }
+
+  void on_wait_until(std::uint64_t deadline_us) override {
+    // Monotonic max: concurrent waiters only ever move time forward.
+    std::uint64_t cur = now_.load(std::memory_order_relaxed);
+    while (cur < deadline_us &&
+           !now_.compare_exchange_weak(cur, deadline_us,
+                                       std::memory_order_acq_rel)) {
+    }
+  }
+
+  void advance(std::uint64_t delta_us) {
+    now_.fetch_add(delta_us, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace discs::rt

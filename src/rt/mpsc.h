@@ -1,0 +1,220 @@
+// Bounded lock-free MPSC inbox — the mailbox of the rt backend.
+//
+// Every rt process (server or client) owns exactly one inbox; any engine
+// thread may push into it, only the owning thread drains it.  The shape is
+// the classic Vyukov intrusive MPSC queue:
+//
+//   - push: one atomic exchange on `head_` plus one store linking the
+//     predecessor — wait-free for producers (no CAS loops), each push is a
+//     single enqueue regardless of contention;
+//   - drain: consumer-only pointer chasing from `tail_`; no atomics beyond
+//     an acquire load per node.
+//
+// Memory model: a producer writes the node body (message + ticket), then
+// exchanges head_ (acq_rel), then stores prev->next (release).  The
+// consumer acquires `next` before touching the node body, so the body is
+// fully visible.  The short window where head_ has moved but prev->next is
+// still null is handled by the drain loop: it stops at the gap, leaving
+// the in-flight node for the next drain (the producer is between two
+// instructions; the message is NOT lost, merely not yet linked).
+//
+// Tickets: producers stamp each node with a globally unique enqueue ticket
+// (the Runtime's atomic counter).  A drained batch is sorted by ticket
+// before the consumer sees it, so each inbox observes one total enqueue
+// order — the property the trace capture's deliver-event ordering builds
+// on (docs/RUNTIME.md).
+//
+// Bounding: a size counter caps queued messages at `capacity`; producers
+// spin/yield while full (backpressure, not loss — message loss is an
+// explicit, recorded drop event in this codebase, never an accident).
+//
+// Nodes are pooled via util::Pool (thread-local freelists, cross-thread
+// free safe), so a push is pointer moves plus one pooled allocation and
+// steady-state traffic recycles nodes without touching malloc.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/message.h"
+#include "util/pool.h"
+
+namespace discs::rt {
+
+class MpscInbox {
+ public:
+  explicit MpscInbox(std::size_t capacity = 4096) : capacity_(capacity) {
+    Node* stub = new_node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  ~MpscInbox() {
+    // Single-threaded by the time an inbox dies (the runtime joins every
+    // engine thread first): free the chain including the stub.
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete_node(n);
+      n = next;
+    }
+  }
+
+  MpscInbox(const MpscInbox&) = delete;
+  MpscInbox& operator=(const MpscInbox&) = delete;
+
+  /// Enqueues `m` with its enqueue ticket.  Blocks (spin + yield) while the
+  /// inbox is at capacity; returns false iff the inbox was closed (the
+  /// message is then not enqueued).  Safe from any thread.
+  bool push(sim::Message m, std::uint64_t ticket) {
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      std::size_t size = size_.fetch_add(1, std::memory_order_acquire);
+      if (size < capacity_) break;
+      size_.fetch_sub(1, std::memory_order_release);
+      std::this_thread::yield();
+    }
+    Node* node = new_node();
+    node->ticket = ticket;
+    node->msg = std::move(m);
+    // Publish: swing head_, then link the predecessor.  The exchange makes
+    // this node the new head before it is reachable; the release store on
+    // prev->next is what the consumer's acquire load pairs with.
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only: true iff no linked message is visible.
+  bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Consumer only: moves every currently linked message into `out`
+  /// (appending), sorted by enqueue ticket.  When `tickets` is non-null the
+  /// corresponding tickets are appended to it in the same order.  Returns
+  /// the number drained.
+  std::size_t drain(sim::MessageVec& out,
+                    std::vector<std::uint64_t>* tickets = nullptr) {
+    scratch_.clear();
+    Node* tail = tail_;
+    for (;;) {
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;  // drained, or a push mid-publish
+      scratch_.push_back({next->ticket, std::move(next->msg)});
+      delete_node(tail);
+      tail = next;
+    }
+    tail_ = tail;
+    if (scratch_.empty()) return 0;
+    size_.fetch_sub(scratch_.size(), std::memory_order_release);
+    // Tickets are globally unique, so sorting yields one total order; the
+    // batch is nearly sorted already (per-producer FIFO), which insertion-
+    // friendly std::sort handles well at these sizes.
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const Item& a, const Item& b) { return a.ticket < b.ticket; });
+    for (auto& item : scratch_) {
+      if (tickets != nullptr) tickets->push_back(item.ticket);
+      out.push_back(std::move(item.msg));
+    }
+    return scratch_.size();
+  }
+
+  /// Closes the inbox: subsequent push() calls fail.  Messages already
+  /// queued remain drainable (interleaving close with concurrent pushes is
+  /// exercised by the stress test; a push either completes before the close
+  /// is visible or returns false without enqueueing).
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Approximate queued count (racy by nature; exact when quiescent).
+  std::size_t approx_size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::uint64_t ticket = 0;
+    sim::Message msg;
+  };
+  struct Item {
+    std::uint64_t ticket;
+    sim::Message msg;
+  };
+
+  static Node* new_node() {
+    void* raw = util::Pool::allocate(sizeof(Node));
+    return new (raw) Node();
+  }
+  static void delete_node(Node* n) {
+    n->~Node();
+    util::Pool::deallocate(n, sizeof(Node));
+  }
+
+  alignas(64) std::atomic<Node*> head_;  // most recently pushed
+  alignas(64) Node* tail_;               // consumer cursor (stub first)
+  alignas(64) std::atomic<std::size_t> size_{0};
+  std::atomic<bool> closed_{false};
+  const std::size_t capacity_;
+  std::vector<Item> scratch_;  // consumer-owned drain batch, reused
+};
+
+/// One-shot wakeup latch for a parked engine thread.  Producers notify
+/// after pushing; the owner re-checks its inboxes between arming and
+/// sleeping, so a notification can never be lost:
+///
+///   consumer: arm -> re-check queues -> sleep   (sleeps only if the
+///             re-check saw nothing AND nobody notified since arming)
+///   producer: push -> notify()                  (locks only when someone
+///             is armed — the uncontended fast path is one atomic op)
+class Parker {
+ public:
+  /// Wakes the parked owner, if any.  Cheap when nobody is parked.
+  void notify() {
+    if (!armed_.exchange(false, std::memory_order_acq_rel)) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      signaled_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  /// Owner only: parks for up to `micros`, returning early when notify()
+  /// arrives or `wake` becomes true.  Returns true when woken by a
+  /// notification/predicate, false on timeout.
+  template <class Pred>
+  bool wait_for(std::uint64_t micros, Pred&& wake) {
+    armed_.store(true, std::memory_order_seq_cst);
+    if (wake()) {  // re-check after arming: closes the lost-wakeup window
+      armed_.store(false, std::memory_order_release);
+      return true;
+    }
+    bool woken;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      woken = cv_.wait_for(lock, std::chrono::microseconds(micros),
+                           [&] { return signaled_ || wake(); });
+      signaled_ = false;
+    }
+    armed_.store(false, std::memory_order_release);
+    return woken;
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool signaled_ = false;
+};
+
+}  // namespace discs::rt

@@ -1,0 +1,486 @@
+#include "rt/runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "history/history.h"
+#include "obs/registry.h"
+#include "par/pool.h"
+#include "proto/common/client.h"
+#include "rt/mpsc.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+#include "util/check.h"
+#include "util/fmt.h"
+
+namespace discs::rt {
+
+namespace {
+
+using discs::proto::ClientBase;
+using discs::proto::Cluster;
+using discs::proto::IdSource;
+using discs::proto::TxSpec;
+
+// Counter references cached per engine thread (the Registry idiom of
+// sim/simulation.cpp): nodes are stable, so the hot path pays one map
+// lookup per thread lifetime.  ThreadPool::run_batch absorbs every engine
+// thread's shard into the caller at join.
+std::uint64_t& counter_steps() {
+  static thread_local std::uint64_t& c =
+      obs::Registry::global().counter("rt.steps");
+  return c;
+}
+std::uint64_t& counter_deliveries() {
+  static thread_local std::uint64_t& c =
+      obs::Registry::global().counter("rt.deliveries");
+  return c;
+}
+std::uint64_t& counter_sent() {
+  static thread_local std::uint64_t& c =
+      obs::Registry::global().counter("rt.messages_sent");
+  return c;
+}
+
+/// One rt process: the protocol object plus its mailbox and scratch
+/// buffers.  Only the owning engine thread (its worker, or its submitter
+/// for clients) ever steps it; any thread pushes into the inbox.
+struct Station {
+  std::unique_ptr<sim::Process> proc;
+  ClientBase* client = nullptr;  ///< non-null iff the process is a client
+  std::unique_ptr<MpscInbox> inbox;
+  Parker* parker = nullptr;  ///< the owning thread's parker (wakeups)
+  std::uint64_t send_seq = 0;
+  sim::MessageVec drain_scratch;
+  std::vector<std::pair<ProcessId, std::shared_ptr<const sim::Payload>>>
+      out_scratch;
+  std::vector<ProcessId> dst_scratch;
+};
+
+/// Per-engine-thread capture sink; merged by sequence number at finalize.
+struct ThreadSink {
+  std::vector<sim::EventRecord> events;
+  std::vector<obs::InvokeRecord> invokes;
+  std::vector<std::uint64_t> dropped_ids;
+};
+
+struct SubmitterStats {
+  std::size_t completed = 0;
+  std::size_t incomplete = 0;
+  obs::Histogram latency_us;
+};
+
+class Engine {
+ public:
+  Engine(const proto::Protocol& protocol, const proto::ClusterConfig& ccfg,
+         const wl::WorkloadConfig& wcfg, const Options& opts)
+      : protocol_(protocol), ccfg_(ccfg), wcfg_(wcfg), opts_(opts) {
+    clock_ = opts_.clock != nullptr ? opts_.clock : &WallClock::instance();
+    capture_ = opts_.capture;
+  }
+
+  RunReport run();
+
+ private:
+  void build_cluster();
+  void generate_specs();
+  void step_station(Station& s, ThreadSink& sink);
+  void route(sim::Message m, ThreadSink& sink);
+  void worker_loop(const std::vector<Station*>& owned, Parker& parker,
+                   ThreadSink& sink);
+  void submitter_loop(Station& st, const std::vector<TxSpec>& specs,
+                      Parker& parker, ThreadSink& sink, SubmitterStats& stats);
+  void request_stop();
+  bool over_budget() const {
+    return WallClock::instance().now_us() - wall_start_us_ >
+           opts_.wall_budget_ms * 1000;
+  }
+  RunReport finalize(std::vector<SubmitterStats> stats, double wall_seconds);
+
+  const proto::Protocol& protocol_;
+  proto::ClusterConfig ccfg_;
+  wl::WorkloadConfig wcfg_;
+  Options opts_;
+  Clock* clock_ = nullptr;
+  bool capture_ = true;
+
+  Cluster cluster_;
+  std::vector<std::unique_ptr<Station>> stations_;  ///< indexed by pid
+  std::vector<std::vector<TxSpec>> specs_;          ///< per client slot
+  std::vector<std::unique_ptr<Parker>> parkers_;    ///< one per engine thread
+  std::vector<ThreadSink> sinks_;                   ///< one per engine thread
+  std::size_t workers_ = 1;
+
+  /// Event sequence counter: every deliver/step/drop claims the next value
+  /// the instant it happens, defining the one total order the captured
+  /// trace replays in.  Claimed even with capture off — it *is* virtual
+  /// time (StepContext::now), so capture cannot change protocol behavior.
+  std::atomic<std::uint64_t> seq_{0};
+  /// Enqueue tickets: globally unique per push, so each inbox drain can
+  /// reconstruct one total enqueue order (rt/mpsc.h).
+  std::atomic<std::uint64_t> ticket_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> timed_out_{false};
+  std::atomic<std::uint64_t> drops_{0};
+  /// Transactions currently in flight; parked workers idle-tick their
+  /// servers only while nonzero (time-based deferred work needs steps, but
+  /// a fully idle system should not spin virtual time forward).
+  std::atomic<std::size_t> active_txs_{0};
+  std::atomic<std::size_t> submitters_left_{0};
+  std::uint64_t wall_start_us_ = 0;
+};
+
+void Engine::build_cluster() {
+  // Protocol::build wants a Simulation; boot one, then lift every process
+  // out of it.  The bootstrap sim never steps, so the clones carry exactly
+  // the post-build state — the same state a simulator run starts from.
+  sim::Simulation boot;
+  IdSource ids;
+  cluster_ = protocol_.build(boot, ccfg_, ids);
+  DISCS_CHECK_MSG(!ccfg_.record_spans,
+                  "rt: span recording is thread-local; capture without "
+                  "spans and replay with them (tests/test_rt.cpp)");
+  DISCS_CHECK_MSG(!cluster_.clients.empty(), "rt: cluster has no clients");
+
+  stations_.reserve(boot.process_count());
+  for (std::size_t i = 0; i < boot.process_count(); ++i) {
+    auto st = std::make_unique<Station>();
+    st->proc = std::as_const(boot).process(ProcessId(i)).clone();
+    st->client = dynamic_cast<ClientBase*>(st->proc.get());
+    st->inbox = std::make_unique<MpscInbox>(opts_.inbox_capacity);
+    stations_.push_back(std::move(st));
+  }
+
+  // Continue the bootstrap IdSource: the workload mints transaction ids
+  // after build minted the initial values, exactly like the sequential
+  // driver.
+  Rng rng(wcfg_.seed);
+  std::optional<Zipf> zipf;
+  if (wcfg_.zipf_theta > 0)
+    zipf.emplace(cluster_.view.objects.size(), wcfg_.zipf_theta);
+  specs_.assign(cluster_.clients.size(), {});
+  for (std::size_t i = 0; i < wcfg_.num_txs; ++i) {
+    std::size_t slot = i % cluster_.clients.size();
+    specs_[slot].push_back(wl::next_tx(ids, cluster_, wcfg_,
+                                       protocol_.supports_write_tx(), rng,
+                                       zipf ? &*zipf : nullptr));
+  }
+}
+
+void Engine::route(sim::Message m, ThreadSink& sink) {
+  if (opts_.drop_filter && opts_.drop_filter(m)) {
+    const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_acq_rel);
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    if (capture_) {
+      sink.dropped_ids.push_back(m.id.value());
+      sim::EventRecord rec;
+      rec.event = sim::Event::drop(m.id);
+      rec.seq = seq;
+      rec.delivered = std::move(m);
+      sink.events.push_back(std::move(rec));
+    }
+    return;
+  }
+  Station& dst = *stations_[m.dst.value()];
+  Parker* parker = dst.parker;
+  if (dst.inbox->push(std::move(m), ticket_.fetch_add(
+                                        1, std::memory_order_relaxed)) &&
+      parker != nullptr)
+    parker->notify();
+}
+
+void Engine::step_station(Station& s, ThreadSink& sink) {
+  s.drain_scratch.clear();
+  const std::size_t k = s.inbox->drain(s.drain_scratch);
+  // Claim the step's whole sequence range atomically: deliveries get
+  // base..base+k-1, the step itself base+k.  Any message this step sends
+  // is pushed *after* this claim, so the consumer's drain (and therefore
+  // its deliver seqs) is ordered after this step's seq — the captured
+  // order is a valid simulator schedule.
+  const std::uint64_t base =
+      seq_.fetch_add(k + 1, std::memory_order_acq_rel);
+  if (capture_) {
+    for (std::size_t i = 0; i < k; ++i) {
+      sim::EventRecord rec;
+      rec.event = sim::Event::deliver(s.drain_scratch[i].id);
+      rec.seq = base + i;
+      rec.delivered = s.drain_scratch[i];
+      sink.events.push_back(std::move(rec));
+    }
+  }
+  const std::uint64_t step_seq = base + k;
+  sim::StepContext ctx(s.proc->id(), step_seq, std::move(s.out_scratch));
+  s.proc->on_step(ctx, s.drain_scratch);
+  counter_steps() += 1;
+  counter_deliveries() += k;
+
+  sim::EventRecord step_rec;
+  if (capture_) {
+    step_rec.event = sim::Event::step(s.proc->id());
+    step_rec.seq = step_seq;
+    step_rec.consumed = s.drain_scratch;
+  }
+  sim::batch_outgoing(s.proc->id(), stations_.size(), ctx.outgoing(),
+                      s.dst_scratch, s.send_seq, [&](sim::Message m) {
+                        counter_sent() += 1;
+                        if (capture_) step_rec.sent.push_back(m);
+                        route(std::move(m), sink);
+                      });
+  s.out_scratch = ctx.take_outgoing();
+  if (capture_) sink.events.push_back(std::move(step_rec));
+}
+
+void Engine::worker_loop(const std::vector<Station*>& owned, Parker& parker,
+                         ThreadSink& sink) {
+  for (;;) {
+    bool stepped = false;
+    for (Station* s : owned) {
+      if (!s->inbox->empty()) {
+        step_station(*s, sink);
+        stepped = true;
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (stepped) continue;
+    const bool woken =
+        parker.wait_for(opts_.idle_tick_us, [&] {
+          if (stop_.load(std::memory_order_acquire)) return true;
+          for (Station* s : owned)
+            if (!s->inbox->empty()) return true;
+          return false;
+        });
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (!woken && active_txs_.load(std::memory_order_acquire) > 0) {
+      // Idle tick: step every owned server once on an empty inbox.  Empty
+      // steps advance virtual time, which drives time-based deferred work
+      // (TrueTime commit-wait, gossip stabilization) exactly as the
+      // simulator's fair scheduler does.
+      for (Station* s : owned) step_station(*s, sink);
+    }
+  }
+}
+
+void Engine::submitter_loop(Station& st, const std::vector<TxSpec>& specs,
+                            Parker& parker, ThreadSink& sink,
+                            SubmitterStats& stats) {
+  ClientBase* client = st.client;
+  const std::uint64_t tick_us = ccfg_.client_retransmit_after > 0
+                                    ? opts_.retransmit_tick_us
+                                    : opts_.submitter_tick_us;
+  std::size_t done_specs = 0;
+  for (const TxSpec& spec : specs) {
+    if (timed_out_.load(std::memory_order_acquire)) break;
+    active_txs_.fetch_add(1, std::memory_order_acq_rel);
+    if (capture_) {
+      obs::InvokeRecord inv;
+      inv.at = seq_.load(std::memory_order_relaxed);
+      inv.client = st.proc->id();
+      inv.spec = spec;
+      sink.invokes.push_back(std::move(inv));
+    }
+    client->invoke(spec);
+    const std::uint64_t t0 = clock_->now_us();
+    step_station(st, sink);  // the start_tx step
+    std::uint64_t next_tick = t0 + tick_us;
+    while (!client->idle()) {
+      if (!st.inbox->empty()) {
+        step_station(st, sink);
+        continue;
+      }
+      if (over_budget()) {
+        timed_out_.store(true, std::memory_order_release);
+        break;
+      }
+      const std::uint64_t now = clock_->now_us();
+      if (now >= next_tick) {
+        // One elapsed period with nothing delivered: an empty-inbox step.
+        // With the ladder armed this is the stalled step that drives the
+        // retransmit arithmetic; it also advances the client through any
+        // time-based wait (commit-wait).
+        step_station(st, sink);
+        next_tick = now + tick_us;
+        continue;
+      }
+      if (clock_->real_time()) {
+        parker.wait_for(next_tick - now, [&] {
+          return !st.inbox->empty() ||
+                 stop_.load(std::memory_order_acquire);
+        });
+      } else {
+        // Fake time: a "wait" jumps the clock to the deadline; yield so
+        // worker threads (always on real time) keep making progress.
+        clock_->on_wait_until(next_tick);
+        std::this_thread::yield();
+      }
+    }
+    active_txs_.fetch_sub(1, std::memory_order_acq_rel);
+    if (client->has_completed(spec.id)) {
+      ++done_specs;
+      ++stats.completed;
+      stats.latency_us.record(clock_->now_us() - t0);
+    } else {
+      // Incomplete (wall budget): the client is still mid-transaction, so
+      // no further spec can be invoked on it.
+      break;
+    }
+  }
+  stats.incomplete += specs.size() - done_specs;
+  if (submitters_left_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    request_stop();
+}
+
+void Engine::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& p : parkers_) p->notify();
+}
+
+RunReport Engine::run() {
+  build_cluster();
+
+  const std::size_t nclients = cluster_.clients.size();
+  workers_ = std::clamp<std::size_t>(opts_.workers, 1,
+                                     cluster_.view.servers.size());
+  const std::size_t nthreads = workers_ + nclients;
+  parkers_.reserve(nthreads);
+  for (std::size_t i = 0; i < nthreads; ++i)
+    parkers_.push_back(std::make_unique<Parker>());
+  sinks_.resize(nthreads);
+  std::vector<SubmitterStats> stats(nclients);
+
+  // Ownership: server i -> worker (i % workers_); client c -> submitter c.
+  std::vector<std::vector<Station*>> owned(workers_);
+  for (std::size_t i = 0; i < cluster_.view.servers.size(); ++i) {
+    Station* s = stations_[cluster_.view.servers[i].value()].get();
+    s->parker = parkers_[i % workers_].get();
+    owned[i % workers_].push_back(s);
+  }
+  for (std::size_t c = 0; c < nclients; ++c)
+    stations_[cluster_.clients[c].value()]->parker =
+        parkers_[workers_ + c].get();
+
+  submitters_left_.store(nclients, std::memory_order_release);
+  wall_start_us_ = WallClock::instance().now_us();
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(nthreads);
+  for (std::size_t w = 0; w < workers_; ++w)
+    tasks.push_back([this, w, &owned] {
+      worker_loop(owned[w], *parkers_[w], sinks_[w]);
+    });
+  for (std::size_t c = 0; c < nclients; ++c)
+    tasks.push_back([this, c, &stats] {
+      submitter_loop(*stations_[cluster_.clients[c].value()], specs_[c],
+                     *parkers_[workers_ + c], sinks_[workers_ + c], stats[c]);
+    });
+  // One batch on the shared pool: workers + submitters run concurrently;
+  // run_batch joins them all and folds their Registry shards (rt.* and
+  // protocol counters) into this thread's.
+  par::ThreadPool::shared().run_batch(std::move(tasks));
+
+  const double wall_seconds =
+      double(WallClock::instance().now_us() - wall_start_us_) / 1e6;
+  return finalize(std::move(stats), wall_seconds);
+}
+
+RunReport Engine::finalize(std::vector<SubmitterStats> stats,
+                           double wall_seconds) {
+  RunReport rep;
+  rep.events = seq_.load(std::memory_order_acquire);
+  rep.drops = drops_.load(std::memory_order_relaxed);
+  rep.timed_out = timed_out_.load(std::memory_order_acquire);
+  rep.wall_seconds = wall_seconds;
+  rep.threads_used = workers_ + cluster_.clients.size();
+  for (auto& s : stats) {
+    rep.txs_completed += s.completed;
+    rep.txs_incomplete += s.incomplete;
+    rep.latency_us.merge(s.latency_us);
+  }
+  obs::Registry::global().inc("rt.runs");
+  obs::Registry::global().counter("rt.drops") += rep.drops;
+
+  if (!capture_) return rep;
+
+  // Merge per-thread sinks into the one total event order.  The sequence
+  // counter claimed exactly rep.events values and every claim produced
+  // exactly one record, so the merged list must be contiguous 0..N-1 —
+  // a cheap full audit of the capture invariant.
+  std::vector<sim::EventRecord> events;
+  events.reserve(rep.events);
+  std::vector<obs::InvokeRecord> invokes;
+  std::vector<std::uint64_t> dropped_ids;
+  for (auto& sink : sinks_) {
+    for (auto& rec : sink.events) events.push_back(std::move(rec));
+    for (auto& inv : sink.invokes) invokes.push_back(std::move(inv));
+    dropped_ids.insert(dropped_ids.end(), sink.dropped_ids.begin(),
+                       sink.dropped_ids.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const sim::EventRecord& a, const sim::EventRecord& b) {
+              return a.seq < b.seq;
+            });
+  DISCS_CHECK_MSG(events.size() == rep.events,
+                  "rt capture: record count != sequence counter");
+  for (std::size_t i = 0; i < events.size(); ++i)
+    DISCS_CHECK_MSG(events[i].seq == i, "rt capture: sequence gap");
+
+  obs::TraceDoc& doc = rep.doc;
+  doc.protocol = protocol_.name();
+  doc.scenario = cat("rt:w", workers_, ":seed", wcfg_.seed);
+  doc.cluster = ccfg_;
+  doc.initial = cluster_.initial_values;
+  doc.invokes = std::move(invokes);
+  obs::sort_invokes(doc.invokes);
+  const bool any_fault =
+      obs::export_event_records(events, /*spans=*/false, doc);
+  doc.schema = any_fault ? std::string(obs::kTraceSchemaV2)
+                         : std::string(obs::kTraceSchema);
+
+  // History: initial values + every client's local record, exactly like
+  // proto::collect_history (which wants a Simulation we no longer have).
+  std::vector<hist::History> parts;
+  hist::History base;
+  for (const auto& [obj, v] : cluster_.initial_values) base.set_initial(obj, v);
+  parts.push_back(std::move(base));
+  for (auto cid : cluster_.clients)
+    parts.push_back(stations_[cid.value()]->client->local_history());
+  doc.history = hist::merge_histories(parts);
+
+  // Final digest, byte-compatible with sim::Simulation::digest(): process
+  // digests in id order, then the network digest over whatever is still
+  // queued (undelivered == in flight), then dropped ids.  A replay of the
+  // captured doc must land on exactly this string.
+  std::ostringstream os;
+  for (const auto& st : stations_)
+    os << to_string(st->proc->id()) << ":{" << st->proc->state_digest()
+       << "} ";
+  sim::Network net;
+  for (const auto& st : stations_) {
+    sim::MessageVec leftovers;
+    st->inbox->drain(leftovers);
+    for (auto& m : leftovers) net.post(std::move(m));
+  }
+  os << "net:{" << net.digest() << "}";
+  if (!dropped_ids.empty()) {
+    std::sort(dropped_ids.begin(), dropped_ids.end());
+    os << " dropped:{" << join(dropped_ids, ",") << "}";
+  }
+  doc.final_digest = os.str();
+  return rep;
+}
+
+}  // namespace
+
+RunReport run(const proto::Protocol& protocol,
+              const proto::ClusterConfig& ccfg,
+              const wl::WorkloadConfig& wcfg, const Options& options) {
+  Engine engine(protocol, ccfg, wcfg, options);
+  return engine.run();
+}
+
+}  // namespace discs::rt

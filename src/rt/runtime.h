@@ -1,0 +1,96 @@
+// Real-threads runtime backend.
+//
+// Runs the *same* protocol code the discrete-event simulator runs — the
+// Process/StepContext contract of src/sim — on a pool of OS threads:
+//
+//   - every process (server or client) is pinned to one bounded lock-free
+//     MPSC inbox (rt/mpsc.h);
+//   - a fixed pool of worker threads owns the servers (round-robin) and
+//     steps a server whenever its inbox is non-empty, parking on a Parker
+//     otherwise;
+//   - one submitter thread per client drives that client's share of the
+//     workload, pacing retransmit timeouts and idle steps off a wall clock
+//     (rt/clock.h) mapped onto the ClientBase backoff ladder;
+//   - outgoing messages route directly into the destination inbox —
+//     no central network object, no global lock on the hot path.
+//
+// Trace capture: a global atomic sequence counter assigns every event
+// (deliver / step / drop) its position as it happens; per-thread sinks
+// collect EventRecords and the finalizer merges them by sequence number
+// into a discs.trace.v2-compatible TraceDoc.  Because a drained batch is
+// delivered in enqueue-ticket order and the step claims the sequence range
+// atomically with its deliveries, the captured artifact satisfies the
+// simulator's event model exactly — obs::replay_doc re-executes it
+// byte-for-byte on the single-threaded simulator, which is how every rt
+// run is verified against the oracle (docs/RUNTIME.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "obs/histogram.h"
+#include "obs/trace_io.h"
+#include "proto/common/cluster.h"
+#include "rt/clock.h"
+#include "sim/message.h"
+#include "workload/workload.h"
+
+namespace discs::rt {
+
+struct Options {
+  /// Worker threads stepping servers (clamped to [1, num_servers]).
+  /// Submitter threads (one per client) are additional.
+  std::size_t workers = 2;
+  /// Bound on queued messages per inbox; producers backpressure when full.
+  std::size_t inbox_capacity = 4096;
+  /// Record the execution as a TraceDoc (RunReport::doc).  Off for
+  /// throughput benches: sequence numbers are still claimed (virtual time
+  /// advances identically) but no records are kept.
+  bool capture = true;
+  /// Wall-clock microseconds per client retransmit-ladder tick.  Only
+  /// meaningful when ClusterConfig::client_retransmit_after armed the
+  /// ladder; each elapsed period feeds the ladder one stalled step.
+  std::uint64_t retransmit_tick_us = 200;
+  /// Parked worker idle-tick period: a worker whose inboxes stay empty
+  /// this long steps its servers once anyway (empty-inbox steps drive
+  /// time-based deferred work: commit-wait, gossip stabilization).
+  std::uint64_t idle_tick_us = 200;
+  /// Parked submitter re-check period when the ladder is off.
+  std::uint64_t submitter_tick_us = 500;
+  /// Real-wall-clock budget for the whole run; exceeded => RunReport
+  /// timed_out and remaining transactions counted incomplete.
+  std::uint64_t wall_budget_ms = 30000;
+  /// Time source for submitter pacing (tests inject FakeClock).  Workers
+  /// always park on real time.  Null => WallClock::instance().
+  Clock* clock = nullptr;
+  /// Test hook: a routed message for which this returns true is dropped
+  /// (recorded as a kDrop event, schema v2).  Called from engine threads
+  /// concurrently — must be thread-safe.
+  std::function<bool(const sim::Message&)> drop_filter;
+};
+
+struct RunReport {
+  obs::TraceDoc doc;  ///< only populated when Options::capture
+  std::size_t txs_completed = 0;
+  std::size_t txs_incomplete = 0;
+  std::uint64_t events = 0;  ///< sequence numbers claimed (virtual time)
+  std::uint64_t drops = 0;   ///< messages dropped by Options::drop_filter
+  bool timed_out = false;
+  /// Per-transaction invoke-to-complete latency in clock microseconds.
+  obs::Histogram latency_us;
+  double wall_seconds = 0;
+  std::size_t threads_used = 0;  ///< workers + submitters
+};
+
+/// Builds the cluster (proto::Protocol::build on a bootstrap simulation,
+/// then lifts every process out), runs `wcfg`'s transaction stream across
+/// real threads and reports.  The spec stream is generated exactly like
+/// wl::run_workload_sequential (same RNG, same Zipf, same id minting), so
+/// an rt run and a simulator run of the same configuration execute the
+/// same transactions.
+RunReport run(const proto::Protocol& protocol,
+              const proto::ClusterConfig& ccfg,
+              const wl::WorkloadConfig& wcfg, const Options& options = {});
+
+}  // namespace discs::rt

@@ -122,6 +122,60 @@ class Process {
   ProcessId id_;
 };
 
+/// Applies the model's at-most-one-message-per-neighbor rule to one step's
+/// outgoing (dst, payload) list: distinct destinations keep first-send
+/// order, several payloads to one destination are batched into a single
+/// BatchPayload message, and ids are minted from `send_seq` in that order.
+/// `sink` receives each built Message by value.  Shared by Simulation::step
+/// and the rt backend's step path, so both execution backends mint
+/// byte-identical message streams from identical handler output — the
+/// replay-equivalence contract of docs/RUNTIME.md.  The quadratic scans are
+/// over the per-step send list, which is bounded by the cluster size.
+template <class Sink>
+void batch_outgoing(
+    ProcessId self, std::size_t process_count,
+    const std::vector<std::pair<ProcessId, std::shared_ptr<const Payload>>>&
+        outgoing,
+    std::vector<ProcessId>& dst_scratch, std::uint64_t& send_seq,
+    Sink&& sink) {
+  dst_scratch.clear();
+  for (const auto& [dst, payload] : outgoing) {
+    DISCS_CHECK_MSG(dst.valid() && dst.value() < process_count,
+                    "send to unknown process");
+    DISCS_CHECK_MSG(dst != self, "self-send not allowed");
+    bool seen = false;
+    for (ProcessId q : dst_scratch)
+      if (q == dst) {
+        seen = true;
+        break;
+      }
+    if (!seen) dst_scratch.push_back(dst);
+  }
+  for (ProcessId dst : dst_scratch) {
+    const std::shared_ptr<const Payload>* only = nullptr;
+    std::size_t count = 0;
+    for (const auto& [d, payload] : outgoing)
+      if (d == dst) {
+        only = &payload;
+        ++count;
+      }
+    Message m;
+    m.id = make_msg_id(self, send_seq++);
+    m.src = self;
+    m.dst = dst;
+    if (count == 1) {
+      m.payload = *only;
+    } else {
+      std::vector<std::shared_ptr<const Payload>> parts;
+      parts.reserve(count);
+      for (const auto& [d, payload] : outgoing)
+        if (d == dst) parts.push_back(payload);
+      m.payload = make_payload<BatchPayload>(std::move(parts));
+    }
+    sink(std::move(m));
+  }
+}
+
 /// Helper for building state digests field by field.
 class DigestBuilder {
  public:

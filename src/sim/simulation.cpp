@@ -111,50 +111,16 @@ bool Simulation::step(ProcessId p) {
 
   // The model allows at most one message per neighbor per computation
   // step; several payloads to one destination are batched into a single
-  // message (message size is unbounded in the model).  Distinct
-  // destinations keep first-send order; the quadratic scans are over the
-  // per-step send list, which is bounded by the cluster size.
-  const auto& outgoing = ctx.outgoing();
-  dst_scratch_.clear();
-  for (const auto& [dst, payload] : outgoing) {
-    DISCS_CHECK_MSG(dst.valid() && dst.value() < procs_.size(),
-                    "send to unknown process");
-    DISCS_CHECK_MSG(dst != p, "self-send not allowed");
-    bool seen = false;
-    for (ProcessId q : dst_scratch_)
-      if (q == dst) {
-        seen = true;
-        break;
-      }
-    if (!seen) dst_scratch_.push_back(dst);
-  }
-  if (retained) rec.sent.reserve(dst_scratch_.size());
-  for (ProcessId dst : dst_scratch_) {
-    const std::shared_ptr<const Payload>* only = nullptr;
-    std::size_t count = 0;
-    for (const auto& [d, payload] : outgoing)
-      if (d == dst) {
-        only = &payload;
-        ++count;
-      }
-    Message m;
-    m.id = make_msg_id(p, send_seq_[p.value()]++);
-    m.src = p;
-    m.dst = dst;
-    if (count == 1) {
-      m.payload = *only;
-    } else {
-      std::vector<std::shared_ptr<const Payload>> parts;
-      parts.reserve(count);
-      for (const auto& [d, payload] : outgoing)
-        if (d == dst) parts.push_back(payload);
-      m.payload = make_payload<BatchPayload>(std::move(parts));
-    }
-    counter_sent() += 1;
-    count_sent_kind(*m.payload);
-    if (retained) rec.sent.push_back(m);
-    net_.post(std::move(m));
-  }
+  // message (message size is unbounded in the model).  The grouping and
+  // id-minting rules live in batch_outgoing (sim/process.h), shared with
+  // the rt backend so both backends send byte-identical message streams.
+  batch_outgoing(p, procs_.size(), ctx.outgoing(), dst_scratch_,
+                 send_seq_[p.value()], [&](Message m) {
+                   counter_sent() += 1;
+                   count_sent_kind(*m.payload);
+                   if (retained) rec.sent.push_back(m);
+                   net_.post(std::move(m));
+                 });
   outgoing_scratch_ = ctx.take_outgoing();
 
   counter_steps() += 1;

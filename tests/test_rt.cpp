@@ -1,0 +1,361 @@
+// Real-threads runtime backend tests (src/rt).
+//
+// The load-bearing property is *oracle agreement*: an rt run captured as a
+// TraceDoc must replay byte-for-byte on the single-threaded simulator —
+// same events, same history, same final digest — for every registry
+// protocol.  Everything the repo already knows how to check (consistency
+// checkers, SpanDag re-audit of Table 1) then applies to real-thread
+// executions for free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "consistency/checkers.h"
+#include "impossibility/properties.h"
+#include "obs/registry.h"
+#include "obs/span_dag.h"
+#include "obs/trace_io.h"
+#include "par/parallel.h"
+#include "par/pool.h"
+#include "proto/common/client.h"
+#include "proto/registry.h"
+#include "rt/clock.h"
+#include "rt/mpsc.h"
+#include "rt/runtime.h"
+#include "sim/simulation.h"
+
+namespace discs {
+namespace {
+
+using cons::Verdict;
+
+// --- MPSC inbox ------------------------------------------------------------
+
+struct Tag : sim::Payload {
+  explicit Tag(std::uint64_t v) : value(v) {}
+  std::uint64_t value;
+  std::string describe() const override {
+    return "Tag(" + std::to_string(value) + ")";
+  }
+};
+
+sim::Message tagged(std::size_t producer, std::uint64_t n) {
+  sim::Message m;
+  m.id = sim::make_msg_id(ProcessId(producer), n);
+  m.src = ProcessId(producer);
+  m.dst = ProcessId(99);
+  m.payload = sim::make_payload<Tag>(n);
+  return m;
+}
+
+TEST(MpscInbox, ConcurrentProducersSingleDrainer) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  // Small capacity so producers actually hit the backpressure path.
+  rt::MpscInbox inbox(64);
+  std::atomic<std::uint64_t> ticket{0};
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (std::uint64_t n = 0; n < kPerProducer; ++n)
+        ASSERT_TRUE(inbox.push(tagged(p, n), ticket.fetch_add(1)));
+    });
+
+  // Concurrent drain: tickets must come out globally sorted per batch and
+  // each producer's messages in send order across batches.
+  sim::MessageVec got;
+  std::vector<std::uint64_t> tickets;
+  while (got.size() < kProducers * kPerProducer) {
+    std::size_t before = tickets.size();
+    inbox.drain(got, &tickets);
+    for (std::size_t i = before + 1; i < tickets.size(); ++i)
+      ASSERT_LT(tickets[i - 1], tickets[i]);
+    std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(inbox.empty());
+  EXPECT_EQ(inbox.approx_size(), 0u);
+
+  std::vector<std::uint64_t> next(kProducers, 0);
+  for (const auto& m : got) {
+    std::size_t p = m.src.value();
+    const auto* tag = m.as<Tag>();
+    ASSERT_NE(tag, nullptr);
+    EXPECT_EQ(tag->value, next[p]) << "producer " << p << " reordered";
+    ++next[p];
+  }
+  for (std::size_t p = 0; p < kProducers; ++p)
+    EXPECT_EQ(next[p], kPerProducer);
+}
+
+TEST(MpscInbox, CloseInterleavedWithPushes) {
+  rt::MpscInbox inbox(1024);
+  std::atomic<std::uint64_t> ticket{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < 3; ++p)
+    producers.emplace_back([&, p] {
+      for (std::uint64_t n = 0; n < 2000; ++n) {
+        if (inbox.push(tagged(p, n), ticket.fetch_add(1)))
+          accepted.fetch_add(1);
+        else
+          break;  // closed: every later push would fail too
+      }
+    });
+  sim::MessageVec got;
+  std::size_t drained = inbox.drain(got);
+  inbox.close();
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(inbox.closed());
+  EXPECT_FALSE(inbox.push(tagged(0, 9999), ticket.fetch_add(1)));
+  // Every accepted message is drainable; none is lost, none duplicated.
+  drained += inbox.drain(got);
+  EXPECT_EQ(drained, accepted.load());
+  EXPECT_EQ(got.size(), accepted.load());
+}
+
+// --- shared worker pool ----------------------------------------------------
+
+TEST(ThreadPool, ParallelForFoldsRegistryIntoCaller) {
+  const std::uint64_t before = obs::Registry::global().value("test.pool.hits");
+  std::atomic<std::uint64_t> sum{0};
+  par::parallel_for(1000, [&](std::size_t i) {
+    obs::Registry::global().inc("test.pool.hits");
+    sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+  // Worker-thread shards were absorbed into this thread's registry at the
+  // join — the persistent pool keeps its threads (and their cached counter
+  // references) across calls, so run it twice to cover reuse.
+  EXPECT_EQ(obs::Registry::global().value("test.pool.hits"), before + 1000);
+  par::parallel_for(500, [&](std::size_t) {
+    obs::Registry::global().inc("test.pool.hits");
+  });
+  EXPECT_EQ(obs::Registry::global().value("test.pool.hits"), before + 1500);
+}
+
+TEST(ThreadPool, PropagatesJobErrors) {
+  EXPECT_THROW(
+      par::parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 33) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+// --- backend agreement with the simulator oracle ---------------------------
+
+rt::RunReport run_rt(const proto::Protocol& protocol, std::size_t workers,
+                     std::size_t num_txs, std::size_t num_clients = 3,
+                     std::uint64_t seed = 11) {
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = 3;
+  ccfg.num_clients = num_clients;
+  ccfg.num_objects = 6;
+  wl::WorkloadConfig wcfg;
+  wcfg.num_txs = num_txs;
+  wcfg.write_fraction = 0.3;
+  wcfg.read_objects = 2;
+  wcfg.seed = seed;
+  rt::Options opts;
+  opts.workers = workers;
+  return rt::run(protocol, ccfg, wcfg, opts);
+}
+
+bool is_strawman(const std::string& name) {
+  return name == "naivefast" || name == "stubborn";
+}
+
+TEST(RtBackend, AgreesWithSimulatorOracleForEveryProtocol) {
+  for (const auto& protocol : proto::all_protocols()) {
+    SCOPED_TRACE(protocol->name());
+    rt::RunReport rep = run_rt(*protocol, /*workers=*/2, /*num_txs=*/21);
+    ASSERT_FALSE(rep.timed_out);
+    EXPECT_EQ(rep.txs_completed, 21u);
+    EXPECT_EQ(rep.txs_incomplete, 0u);
+    EXPECT_EQ(rep.latency_us.count(), 21u);
+    EXPECT_GE(rep.events, 21u);
+
+    // The captured artifact replays byte-for-byte on the simulator.
+    obs::DocReplay replay = obs::replay_doc(rep.doc, *protocol);
+    ASSERT_TRUE(replay.ok) << replay.error;
+    EXPECT_TRUE(replay.digest_match);
+    EXPECT_EQ(obs::export_jsonl(replay.reexport), obs::export_jsonl(rep.doc));
+
+    // The replayed history equals the live one and passes the checkers.
+    EXPECT_EQ(replay.history.describe(), rep.doc.history.describe());
+    EXPECT_NE(cons::check_reads_valid(rep.doc.history).verdict,
+              Verdict::kViolation);
+    if (is_strawman(protocol->name())) continue;
+    // Under a genuinely concurrent schedule the strawmen may violate
+    // their nominal level (that is their point); correct protocols must
+    // hold their claim.
+    const std::string claim = protocol->consistency_claim();
+    cons::CheckResult claimed;
+    if (claim.find("strict") != std::string::npos)
+      claimed = cons::check_strict_serializability(rep.doc.history);
+    else if (claim.find("read-atomic") != std::string::npos)
+      claimed = cons::check_read_atomicity(rep.doc.history);
+    else
+      claimed = cons::check_causal_consistency(rep.doc.history);
+    EXPECT_NE(claimed.verdict, Verdict::kViolation)
+        << (claimed.violations.empty() ? ""
+                                       : claimed.violations.front().detail);
+  }
+}
+
+TEST(RtBackend, CaptureOffStillCompletes) {
+  auto protocol = proto::protocol_by_name("cops");
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = 3;
+  ccfg.num_clients = 2;
+  ccfg.num_objects = 4;
+  wl::WorkloadConfig wcfg;
+  wcfg.num_txs = 10;
+  wcfg.seed = 5;
+  rt::Options opts;
+  opts.workers = 2;
+  opts.capture = false;
+  rt::RunReport rep = rt::run(*protocol, ccfg, wcfg, opts);
+  EXPECT_FALSE(rep.timed_out);
+  EXPECT_EQ(rep.txs_completed, 10u);
+  EXPECT_TRUE(rep.doc.events.empty());
+  EXPECT_GT(rep.events, 0u);
+}
+
+// --- SpanDag Table-1 re-audit over rt-captured traces ----------------------
+//
+// Span recording is thread-local, so rt captures run without it; the
+// captured doc is then replayed on the main thread *with* spans (spans are
+// digest- and behavior-invariant), and the re-captured document must
+// profile identically to a live audit of the replayed trace — the same
+// field-for-field pin tests/test_profiler.cpp establishes for simulator
+// captures.
+
+TEST(RtBackend, SpanDagReauditMatchesLiveAuditForEveryProtocol) {
+  std::size_t audited = 0;
+  for (const auto& protocol : proto::all_protocols()) {
+    SCOPED_TRACE(protocol->name());
+    // One client so transaction windows do not overlap.
+    rt::RunReport rep =
+        run_rt(*protocol, /*workers=*/2, /*num_txs=*/12, /*num_clients=*/1,
+               /*seed=*/3);
+    ASSERT_FALSE(rep.timed_out);
+    ASSERT_EQ(rep.txs_incomplete, 0u);
+
+    obs::TraceDoc sdoc = rep.doc;
+    sdoc.cluster.record_spans = true;
+
+    // Manual main-thread replay with span recording on.
+    sim::Simulation sim;
+    proto::IdSource ids;
+    proto::Cluster cluster = protocol->build(sim, sdoc.cluster, ids);
+    std::size_t next_invoke = 0;
+    auto run_invokes = [&] {
+      while (next_invoke < sdoc.invokes.size() &&
+             sdoc.invokes[next_invoke].at <= sim.now()) {
+        const obs::InvokeRecord& inv = sdoc.invokes[next_invoke++];
+        sim.process_as<proto::ClientBase>(inv.client).invoke(inv.spec);
+      }
+    };
+    for (const auto& e : sdoc.events) {
+      run_invokes();
+      ASSERT_TRUE(sim.apply(e.event)) << e.event.describe();
+    }
+    run_invokes();
+    // Spans change nothing observable: the replay still lands on the
+    // digest the rt run captured without them.
+    EXPECT_EQ(sim.digest(), rep.doc.final_digest);
+
+    obs::TraceDoc spanned =
+        obs::make_doc(*protocol, sdoc.scenario, sdoc.cluster, sim, cluster,
+                      sdoc.invokes);
+    obs::SpanDag dag(spanned);
+    const hist::History replayed = proto::collect_history(
+        sim, cluster.clients, cluster.initial_values);
+    for (const auto& tx : replayed.txs()) {
+      if (!tx.read_only() || !tx.completed) continue;
+      imposs::RotAudit live =
+          imposs::audit_rot(sim.trace(), tx.invoke_seq, tx.complete_seq + 1,
+                            tx.id, tx.client, cluster.view);
+      obs::RotProfile offline = dag.profile(tx.id);
+      SCOPED_TRACE(to_string(tx.id));
+      EXPECT_EQ(offline.rounds, live.rounds);
+      EXPECT_EQ(offline.one_round, live.one_round);
+      EXPECT_EQ(offline.nonblocking, live.nonblocking);
+      EXPECT_EQ(offline.deferred_replies, live.deferred_replies);
+      EXPECT_EQ(offline.max_values_per_message, live.max_values_per_message);
+      EXPECT_EQ(offline.max_values_per_object, live.max_values_per_object);
+      EXPECT_EQ(offline.leaked_foreign_values, live.leaked_foreign_values);
+      EXPECT_EQ(offline.single_server_per_object,
+                live.single_server_per_object);
+      EXPECT_EQ(offline.one_value, live.one_value);
+      EXPECT_EQ(offline.reply_bytes, live.reply_bytes);
+      ++audited;
+    }
+  }
+  // The sweep exercised real ROTs across the registry.
+  EXPECT_GE(audited, 5u * proto::all_protocols().size());
+}
+
+// --- wall-clock retransmits ------------------------------------------------
+
+TEST(RtBackend, WallClockRetransmitRecoversDroppedRequest) {
+  auto protocol = proto::protocol_by_name("cops");
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = 3;
+  ccfg.num_clients = 1;
+  ccfg.num_objects = 4;
+  ccfg.exactly_once = true;  // retransmits are dup-safe
+  ccfg.client_retransmit_after = 2;
+  wl::WorkloadConfig wcfg;
+  wcfg.num_txs = 6;
+  wcfg.seed = 9;
+
+  rt::FakeClock clock;
+  std::atomic<bool> dropped_once{false};
+  rt::Options opts;
+  opts.workers = 2;
+  opts.clock = &clock;
+  opts.drop_filter = [&](const sim::Message& m) {
+    // Drop the first client-originated request, exactly once.
+    if (m.src.value() < ccfg.num_servers) return false;
+    bool expected = false;
+    return dropped_once.compare_exchange_strong(expected, true);
+  };
+
+  const std::uint64_t rtx_before =
+      obs::Registry::global().value("client.retransmits");
+  rt::RunReport rep = rt::run(*protocol, ccfg, wcfg, opts);
+  ASSERT_FALSE(rep.timed_out);
+  EXPECT_EQ(rep.txs_completed, 6u);
+  EXPECT_EQ(rep.drops, 1u);
+  EXPECT_TRUE(dropped_once.load());
+  // The ladder fired off fake wall-clock periods, not simulator steps.
+  EXPECT_GE(obs::Registry::global().value("client.retransmits"), rtx_before + 1);
+  // The drop is a first-class v2 event and the run replays byte-exactly —
+  // including the rearmed ladder, whose base travels in the header.
+  EXPECT_EQ(rep.doc.schema, obs::kTraceSchemaV2);
+  obs::DocReplay replay = obs::replay_doc(rep.doc, *protocol);
+  ASSERT_TRUE(replay.ok) << replay.error;
+  EXPECT_EQ(obs::export_jsonl(replay.reexport), obs::export_jsonl(rep.doc));
+}
+
+TEST(RtBackend, FakeClockAutoAdvances) {
+  rt::FakeClock clock(100);
+  EXPECT_EQ(clock.now_us(), 100u);
+  clock.on_wait_until(500);
+  EXPECT_EQ(clock.now_us(), 500u);
+  clock.on_wait_until(200);  // never moves backwards
+  EXPECT_EQ(clock.now_us(), 500u);
+  clock.advance(50);
+  EXPECT_EQ(clock.now_us(), 550u);
+  EXPECT_FALSE(clock.real_time());
+}
+
+}  // namespace
+}  // namespace discs
