@@ -65,8 +65,35 @@ int main() {
     }
   }
   std::cout << ascii_table(rows2) << "\n";
+
+  // The sharded regime (docs/SHARDING.md): the same induction argument on
+  // the Appendix A general model proper — N shards x R replicas with
+  // computed placement — instead of the enumerated round-robin layout.
+  std::cout << "=== Theorem 2 under sharded placement ===\n\n";
+  std::vector<std::vector<std::string>> rows3;
+  rows3.push_back(
+      {"protocol", "shards", "m", "repl", "objects", "outcome", "steps"});
+  for (const std::string name : {"naivefast", "stubborn"}) {
+    auto protocol = proto::protocol_by_name(name);
+    for (std::size_t shards : {8, 64}) {
+      proto::ClusterConfig cfg;
+      cfg.num_servers = 4;
+      cfg.num_clients = 4;
+      cfg.num_objects = shards;
+      cfg.num_shards = shards;
+      cfg.replication = 2;
+      imposs::InductionOptions options;
+      options.max_steps = 4;
+      auto report = imposs::run_induction(*protocol, cfg, options);
+      rows3.push_back({name, cat(shards), cat(cfg.num_servers), cat(2),
+                       cat(cfg.num_objects), report.outcome_str(),
+                       cat(report.steps.size())});
+    }
+  }
+  std::cout << ascii_table(rows3) << "\n";
   std::cout << "The impossibility outcomes are invariant in the cluster\n"
-               "shape (Theorem 2), and the feasible designs keep their\n"
-               "guarantees as the system grows.\n";
+               "shape (Theorem 2) — enumerated or sharded placement alike —\n"
+               "and the feasible designs keep their guarantees as the\n"
+               "system grows.\n";
   return 0;
 }

@@ -127,6 +127,61 @@ void BM_WorkloadSustained(benchmark::State& state, const std::string& name) {
                                               benchmark::Counter::kIsRate);
 }
 
+/// The sharded regime (docs/SHARDING.md): the same sustained sweep over a
+/// 64-shard, partially-replicated cluster.  Placement is computed (ShardMap
+/// residue arithmetic), so the comparison against BM_WorkloadSustained
+/// isolates what cross-shard routing costs per transaction — the metadata
+/// is O(1) regardless of key count.
+void BM_WorkloadSharded(benchmark::State& state, const std::string& name) {
+  auto protocol = proto::protocol_by_name(name);
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = 8;
+  ccfg.num_clients = kClients;
+  ccfg.num_objects = 4096;
+  ccfg.num_shards = 64;
+  ccfg.replication = 2;
+  std::size_t events = 0;
+  std::size_t txs = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim.set_trace_retention(false);
+    proto::IdSource ids;
+    proto::Cluster cluster = protocol->build(sim, ccfg, ids);
+    wl::WorkloadConfig wcfg;
+    wcfg.num_txs = 200;
+    wcfg.read_objects = 3;  // read sets straddle shard groups
+    wcfg.seed = 9;
+    wcfg.collect_history = false;
+    auto result =
+        wl::run_workload_sequential(sim, *protocol, cluster, ids, wcfg);
+    benchmark::DoNotOptimize(result);
+    events += sim.now();
+    txs += wcfg.num_txs - result.incomplete;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["tx/s"] = benchmark::Counter(static_cast<double>(txs),
+                                              benchmark::Counter::kIsRate);
+}
+
+/// Placement metadata at the north-star scale: build the 64-shard map over
+/// a million keys and enumerate one server's subset.  Everything here is
+/// residue arithmetic + O(stored) generation; a per-key table would be
+/// megabytes and show up as orders of magnitude here.
+void BM_ShardMapMillionKeys(benchmark::State& state) {
+  const std::vector<ProcessId> srv = [] {
+    std::vector<ProcessId> s;
+    for (std::size_t i = 0; i < 8; ++i) s.push_back(ProcessId(i));
+    return s;
+  }();
+  for (auto _ : state) {
+    proto::ShardMap map = proto::ShardMap::make(64, 2, srv, 1'000'000);
+    auto objs = map.objects_at(srv[3]);
+    benchmark::DoNotOptimize(objs.size());
+  }
+  state.counters["keys"] = 1'000'000;
+}
+
 /// Pure snapshot: O(processes) regardless of how long the history is.
 void BM_Snapshot(benchmark::State& state) {
   WarmSim w = build_warm("wren", static_cast<std::size_t>(state.range(0)));
@@ -353,7 +408,12 @@ bool register_benchmarks(bool smoke) {
       std::string slabel = std::string("BM_WorkloadSustained/") + name;
       benchmark::RegisterBenchmark(slabel.c_str(), BM_WorkloadSustained,
                                    std::string(name));
+      std::string shlabel = std::string("BM_WorkloadSharded/") + name;
+      benchmark::RegisterBenchmark(shlabel.c_str(), BM_WorkloadSharded,
+                                   std::string(name));
     }
+    benchmark::RegisterBenchmark("BM_ShardMapMillionKeys",
+                                 BM_ShardMapMillionKeys);
     // History sizes: 50 txs ≈ hundreds of events, 1600 txs ≥ 10k events
     // (the trace_events counter reports the measured length).
     const std::vector<std::int64_t> txs =

@@ -7,8 +7,14 @@
 // minimal reproducing plan and written as "discs.chaosrepro.v1" JSON.
 //
 //   chaos_lab [--protocol NAME] [--runs N] [--seed S] [--txs N]
+//             [--shards N] [--servers M] [--objects K] [--replicas R]
 //             [--no-exactly-once] [--no-journal] [--out DIR]
 //   chaos_lab --repro FILE        re-execute a saved counterexample
+//
+// --shards switches the cluster to the sharded, partially-replicated
+// regime (docs/SHARDING.md); pair with --servers/--objects/--replicas to
+// shape it (e.g. `--shards 64 --servers 8 --objects 1000000 --replicas 2`
+// runs the campaign over the Appendix A general model at scale).
 //
 // Default configuration runs with the exactly-once session layer and the
 // durable journal ON — the hardened stack the campaign certifies.  The
@@ -49,6 +55,14 @@ int main(int argc, char** argv) {
       cfg.seed = std::stoull(next());
     } else if (arg == "--txs") {
       cfg.workload.num_txs = std::stoul(next());
+    } else if (arg == "--shards") {
+      cfg.cluster.num_shards = std::stoul(next());
+    } else if (arg == "--servers") {
+      cfg.cluster.num_servers = std::stoul(next());
+    } else if (arg == "--objects") {
+      cfg.cluster.num_objects = std::stoul(next());
+    } else if (arg == "--replicas") {
+      cfg.cluster.replication = std::stoul(next());
     } else if (arg == "--no-exactly-once") {
       cfg.cluster.exactly_once = false;
     } else if (arg == "--no-journal") {

@@ -112,11 +112,17 @@ RotAudit audit_rot(const sim::Trace& trace, std::size_t begin,
       audit.max_values_per_message =
           std::max(audit.max_values_per_message, carried.size());
 
+      // Distinct values per object within THIS message.  A server storing
+      // several of the requested objects legitimately answers them all in
+      // one reply (general model); bundling two values of the same object
+      // is the (V) violation.
+      std::map<std::uint64_t, std::set<std::uint64_t>> in_message;
       for (const auto& part : sim::payload_parts(m)) {
         const auto* rr = sim::payload_as<RotReply>(part.get());
         if (!rr || rr->tx != tx) continue;
         auto note = [&](ObjectId obj, ValueId v) {
           if (!v.valid()) return;
+          in_message[obj.value()].insert(v.value());
           values_per_object[obj.value()].insert(v.value());
           servers_per_object[obj.value()].insert(
               rec.event.process.value());
@@ -129,6 +135,9 @@ RotAudit audit_rot(const sim::Trace& trace, std::size_t begin,
         for (const auto& item : rr->extras) note(item.object, item.value);
         for (const auto& p : rr->pendings) note(p.object, p.value);
       }
+      for (const auto& [obj, vals] : in_message)
+        audit.max_values_per_object_per_message =
+            std::max(audit.max_values_per_object_per_message, vals.size());
     }
 
     if (consumed_request && !replied) {
@@ -144,8 +153,8 @@ RotAudit audit_rot(const sim::Trace& trace, std::size_t begin,
     if (servers.size() > 1) audit.single_server_per_object = false;
 
   audit.one_round = (audit.rounds == 1);
-  audit.one_value =
-      audit.max_values_per_message <= 1 && !audit.leaked_foreign_values;
+  audit.one_value = audit.max_values_per_object_per_message <= 1 &&
+                    !audit.leaked_foreign_values;
   audit.completed = true;  // refined by callers that know completion status
   return audit;
 }
@@ -157,6 +166,7 @@ std::string RotAudit::summary() const {
      << " N=" << (nonblocking ? "yes" : cat("NO(", deferred_replies, ")"))
      << " V=" << (one_value ? "yes" : "NO")
      << " vals/msg=" << max_values_per_message
+     << " vals/obj/msg=" << max_values_per_object_per_message
      << " vals/obj=" << max_values_per_object
      << (leaked_foreign_values ? " foreign-values!" : "")
      << " bytes=" << reply_bytes << (fast() ? "  [FAST]" : "  [not fast]");

@@ -6,8 +6,14 @@
 //   (O) one-round    — the client sends all its read messages in one
 //                      computation step and completes on their replies;
 //   (V) one-value    — each server-to-client message carries at most one
-//                      written value, for an object stored at that server
-//                      and read by the client.
+//                      written value PER OBJECT, for objects stored at that
+//                      server and read by the client.  In the 2-server,
+//                      2-object instance this coincides with "one value per
+//                      message"; in the general Appendix A model a server
+//                      storing several of the read objects legitimately
+//                      replies with one value for each in a single message,
+//                      and the violation is bundling several values of the
+//                      SAME object (or leaking objects not asked of it).
 //
 // The monitors derive verdicts from the recorded TRACE, not from protocol
 // self-reporting: a protocol that lies about its properties (naivefast) is
@@ -46,9 +52,11 @@ struct RotAudit {
   std::size_t deferred_replies = 0;
 
   /// (V) per the formal definition: max written values carried per
-  /// server->client message, and whether any message leaked values of
-  /// objects not requested from that server.
+  /// server->client message, max distinct values carried for a single
+  /// object within one message (the general-model gate), and whether any
+  /// message leaked values of objects not requested from that server.
   std::size_t max_values_per_message = 0;
+  std::size_t max_values_per_object_per_message = 0;
   bool leaked_foreign_values = false;
   bool one_value = false;
 

@@ -160,14 +160,22 @@ RotProfile SpanDag::profile(TxId tx) const {
       out.reply_bytes += m.bytes;
       out.max_values_per_message =
           std::max(out.max_values_per_message, m.values.size());
+      // Same per-(message, object) gate as imposs::audit_rot: several
+      // objects answered in one reply is the general model working as
+      // designed; several values of one object is the (V) violation.
+      std::map<std::uint64_t, std::set<std::uint64_t>> in_message;
       for (const auto& r : m.reads) {
         if (r[0] != tx.value()) continue;
+        in_message[r[1]].insert(r[2]);
         values_per_object[r[1]].insert(r[2]);
         servers_per_object[r[1]].insert(p.value());
         bool asked = requested[p.value()].count(r[1]) > 0;
         bool stored = view_.server_stores(p, ObjectId(r[1]));
         if (!asked || !stored) out.leaked_foreign_values = true;
       }
+      for (const auto& [obj, vals] : in_message)
+        out.max_values_per_object_per_message =
+            std::max(out.max_values_per_object_per_message, vals.size());
     }
 
     if (consumed_request && !replied) {
@@ -183,8 +191,8 @@ RotProfile SpanDag::profile(TxId tx) const {
     if (servers.size() > 1) out.single_server_per_object = false;
 
   out.one_round = (out.rounds == 1);
-  out.one_value =
-      out.max_values_per_message <= 1 && !out.leaked_foreign_values;
+  out.one_value = out.max_values_per_object_per_message <= 1 &&
+                  !out.leaked_foreign_values;
   return out;
 }
 

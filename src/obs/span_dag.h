@@ -79,6 +79,7 @@ struct RotProfile {
   bool nonblocking = true;
   std::size_t deferred_replies = 0;
   std::size_t max_values_per_message = 0;
+  std::size_t max_values_per_object_per_message = 0;
   std::size_t max_values_per_object = 0;
   bool leaked_foreign_values = false;
   bool single_server_per_object = true;

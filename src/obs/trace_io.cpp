@@ -245,6 +245,12 @@ Json header_json(const TraceDoc& doc) {
     cluster.emplace_back(
         "client_retransmit_after",
         Json(std::uint64_t(doc.cluster.client_retransmit_after)));
+  // Shard topology: present only in the sharded regime (num_shards > 1), so
+  // flat-regime artifacts stay byte-identical.  Replays rebuild the same
+  // ShardMap from this value plus servers/replication/objects above.
+  if (doc.cluster.num_shards > 1)
+    cluster.emplace_back("shards",
+                         Json(std::uint64_t(doc.cluster.num_shards)));
   return Json(JsonObject{
       {"record", Json("header")},
       {"schema", Json(doc.schema)},
@@ -421,6 +427,8 @@ TraceDoc import_jsonl(std::string_view text) {
         doc.cluster.record_spans = rs->as_bool();
       if (const Json* cr = c.find("client_retransmit_after"))
         doc.cluster.client_retransmit_after = cr->as_uint();
+      if (const Json* sh = c.find("shards"))
+        doc.cluster.num_shards = sh->as_uint();
       for (const auto& pair : j.get("initial").as_array()) {
         const auto& kv = pair.as_array();
         DISCS_CHECK_MSG(kv.size() == 2, "trace: malformed initial pair");

@@ -8,8 +8,11 @@
 // consistency checkers.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,6 +24,60 @@
 #include "sim/process.h"
 
 namespace discs::proto {
+
+/// Cross-shard fan-out/join bookkeeping for one round of a transaction.
+///
+/// Every protocol client runs the same loop: group the round's objects by
+/// routing server (the shard primary under a ShardMap, the placement
+/// primary otherwise), send one request per server, then hold the
+/// transaction open until each of those servers has replied.  ShardRouter
+/// owns that loop's state; protocols keep only the round *payloads* and
+/// *semantics*.  The awaited set renders exactly like the per-protocol
+/// `awaiting_` sets it replaced (join of sorted raw ids), so protocol
+/// digests are byte-identical to pre-router builds.
+class ShardRouter {
+ public:
+  /// Routes `objects` through group_by_primary and sends
+  /// `make(server, objs)` to each involved server, marking it awaited.
+  /// One message per shard-group primary, objects in request order.
+  template <class MakeReq>
+  void fan_out(sim::StepContext& ctx, const ClusterView& view,
+               const std::vector<ObjectId>& objects, MakeReq&& make) {
+    for (auto& [server, objs] : group_by_primary(view, objects)) {
+      ctx.send(server, make(server, std::move(objs)));
+      expect(server);
+    }
+  }
+
+  /// Sends one request outside the grouped pattern (single-primary writes,
+  /// status probes) and awaits its sender.
+  void send(sim::StepContext& ctx, ProcessId server,
+            std::shared_ptr<const sim::Payload> payload) {
+    ctx.send(server, std::move(payload));
+    expect(server);
+  }
+
+  /// Marks `server` as owing a reply for the current round.
+  void expect(ProcessId server) { awaiting_.insert(server.value()); }
+
+  /// Records `src`'s reply; true when the round has joined (every awaited
+  /// server has answered).
+  bool ack(ProcessId src) {
+    awaiting_.erase(src.value());
+    return awaiting_.empty();
+  }
+
+  bool joined() const { return awaiting_.empty(); }
+  std::size_t pending() const { return awaiting_.size(); }
+  void reset() { awaiting_.clear(); }
+
+  /// The awaited raw ids, for protocol digests (sorted, as the replaced
+  /// per-protocol sets were).
+  const std::set<std::uint64_t>& awaiting() const { return awaiting_; }
+
+ private:
+  std::set<std::uint64_t> awaiting_;
+};
 
 class ClientBase : public sim::Process {
  public:

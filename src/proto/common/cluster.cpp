@@ -14,6 +14,7 @@ ProcessId ClusterView::primary(ObjectId obj) const {
 }
 
 const std::vector<ProcessId>& ClusterView::replicas(ObjectId obj) const {
+  if (shards.enabled()) return shards.replicas_of(obj);
   auto it = placement.find(obj);
   DISCS_CHECK_MSG(it != placement.end(), "object not placed");
   DISCS_CHECK(!it->second.empty());
@@ -21,12 +22,17 @@ const std::vector<ProcessId>& ClusterView::replicas(ObjectId obj) const {
 }
 
 bool ClusterView::server_stores(ProcessId server, ObjectId obj) const {
+  if (shards.enabled()) return shards.server_stores(server, obj);
   for (auto s : replicas(obj))
     if (s == server) return true;
   return false;
 }
 
 std::vector<ObjectId> ClusterView::objects_at(ProcessId server) const {
+  // Sharded: generated from the hosted shards' key progressions —
+  // O(stored), so building a server's subset never scans the whole key
+  // space (build would otherwise be quadratic at millions of keys).
+  if (shards.enabled()) return shards.objects_at(server);
   std::vector<ObjectId> out;
   for (auto obj : objects)
     if (server_stores(server, obj)) out.push_back(obj);
@@ -69,6 +75,18 @@ ClusterView make_view(const ClusterConfig& cfg, ProcessId first_server) {
   view.record_spans = cfg.record_spans;
   for (std::size_t s = 0; s < cfg.num_servers; ++s)
     view.servers.push_back(ProcessId(first_server.value() + s));
+
+  view.objects.reserve(cfg.num_objects);
+  if (cfg.num_shards > 1) {
+    // Sharded regime: placement is computed through the shard map (and
+    // stays empty here) so the view's size is independent of key count.
+    view.shards = ShardMap::make(cfg.num_shards, cfg.replication,
+                                 view.servers, cfg.num_objects);
+    for (std::size_t o = 0; o < cfg.num_objects; ++o)
+      view.objects.push_back(ObjectId(o));
+    return view;
+  }
+
   for (std::size_t o = 0; o < cfg.num_objects; ++o) {
     ObjectId obj(o);
     view.objects.push_back(obj);

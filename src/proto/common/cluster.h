@@ -4,6 +4,14 @@
 // (Section 2).  With replication == 1 the per-server sets are disjoint (the
 // simple model of Theorem 1); with replication > 1 the system is partially
 // replicated (Appendix A): sets overlap but no server stores everything.
+//
+// Two placement regimes (docs/SHARDING.md):
+//  * flat (num_shards == 1, the default): objects are placed round-robin
+//    and enumerated in ClusterView::placement — byte-identical to every
+//    pre-sharding artifact;
+//  * sharded (num_shards > 1): keys route to shards (key mod N) and shards
+//    to replica groups via a ShardMap; placement is computed arithmetically
+//    and never enumerated, so clusters scale to millions of keys.
 #pragma once
 
 #include <map>
@@ -11,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "proto/common/shard.h"
 #include "proto/common/tx.h"
 #include "sim/simulation.h"
 
@@ -20,8 +29,13 @@ namespace discs::proto {
 struct ClusterView {
   std::vector<ProcessId> servers;
   std::vector<ObjectId> objects;
-  /// object -> replica servers (first entry is the primary).
+  /// object -> replica servers (first entry is the primary).  Enumerated
+  /// only in the flat regime; empty when `shards` is enabled (placement is
+  /// then computed, never stored).
   std::map<ObjectId, std::vector<ProcessId>> placement;
+  /// Sharded placement (ClusterConfig::num_shards > 1).  Disabled by
+  /// default, in which case every accessor below reads `placement`.
+  ShardMap shards;
 
   /// Robustness switches, copied from ClusterConfig by make_view so that
   /// every process built from this view — including probe clients added
@@ -53,8 +67,18 @@ struct ClusterConfig {
   std::size_t num_clients = 4;
   std::size_t num_objects = 2;
   /// Replicas per object.  1 = disjoint placement (Theorem 1 model);
-  /// >1 = partial replication (Appendix A model).
+  /// >1 = partial replication (Appendix A model).  In the sharded regime
+  /// this is the replica-group size R of every shard.
   std::size_t replication = 1;
+  /// Shard count N of the general Appendix A cluster (docs/SHARDING.md).
+  /// 1 (default) keeps the legacy flat round-robin placement and leaves
+  /// every digest, golden and trace artifact byte-identical.  > 1 routes
+  /// key k to shard k mod N; shard s lives on the R consecutive servers
+  /// starting at servers[s mod m] (the first is the primary clients route
+  /// to).  Requires num_shards >= num_servers (every server stores at
+  /// least one shard), replication < num_servers (partial replication: no
+  /// server stores everything) and num_objects >= num_shards.
+  std::size_t num_shards = 1;
   /// TrueTime uncertainty half-width for clock-based protocols.
   std::uint64_t tt_epsilon = 5;
   /// Servers gossip stabilization info every `gossip_interval` own steps.
@@ -110,7 +134,7 @@ class Protocol {
 
   /// Builds servers (ids 0..m-1), seeds initial values, then creates
   /// `cfg.num_clients` clients.  Object placement is round-robin with
-  /// `cfg.replication` replicas.
+  /// `cfg.replication` replicas, or shard-mapped when cfg.num_shards > 1.
   Cluster build(sim::Simulation& sim, const ClusterConfig& cfg,
                 IdSource& ids) const;
 
@@ -128,8 +152,10 @@ class Protocol {
 /// Computes the round-robin placement used by Protocol::build.
 ClusterView make_view(const ClusterConfig& cfg, ProcessId first_server);
 
-/// Groups objects by their primary server, preserving object order — the
-/// fan-out pattern used by every client: one message per involved server.
+/// Groups objects by their primary server (the shard primary under a
+/// ShardMap), preserving object order — the routing primitive behind every
+/// client's fan-out: one message per involved server.  ShardRouter
+/// (proto/common/client.h) layers join bookkeeping on top.
 std::map<ProcessId, std::vector<ObjectId>> group_by_primary(
     const ClusterView& view, const std::vector<ObjectId>& objects);
 

@@ -6,19 +6,19 @@
 namespace discs::proto::cops {
 
 void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
-  awaiting_.clear();
+  router_.reset();
   round1_.clear();
   round_ = 1;
 
   if (spec.read_only()) {
-    for (const auto& [server, objs] : group_by_primary(view(), spec.read_set)) {
-      auto req = std::make_shared<RotRequest>();
-      req->tx = spec.id;
-      req->round = 1;
-      req->objects = objs;
-      ctx.send(server, req);
-      awaiting_.insert(server.value());
-    }
+    router_.fan_out(ctx, view(), spec.read_set,
+                    [&](ProcessId, std::vector<ObjectId> objs) {
+                      auto req = std::make_shared<RotRequest>();
+                      req->tx = spec.id;
+                      req->round = 1;
+                      req->objects = std::move(objs);
+                      return req;
+                    });
     return;
   }
 
@@ -30,13 +30,11 @@ void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
   req->writes = {{obj, value}};
   for (const auto& [dep_obj, dep] : context_) req->deps.push_back(dep);
   req->client_ts = hlc_.tick(ctx.now());
-  ProcessId server = view().primary(obj);
-  ctx.send(server, req);
-  awaiting_.insert(server.value());
+  router_.send(ctx, view().primary(obj), req);
 }
 
 void Client::maybe_finish_round1(sim::StepContext& ctx) {
-  if (!awaiting_.empty()) return;
+  if (!router_.joined()) return;
 
   // Compute the causal cut: for each read object, the minimum acceptable
   // timestamp implied by the dependencies of the *other* returned versions.
@@ -76,10 +74,7 @@ void Client::maybe_finish_round1(sim::StepContext& ctx) {
     req->objects.push_back(obj);
     req->at_least[obj] = ts;
   }
-  for (auto& [server, req] : per_server) {
-    ctx.send(server, req);
-    awaiting_.insert(server.value());
-  }
+  for (auto& [server, req] : per_server) router_.send(ctx, server, req);
 }
 
 void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
@@ -88,12 +83,11 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
     if (!has_active() || reply->tx != active_spec().id) return;
     if (reply->round == 1 && round_ == 1) {
       for (const auto& item : reply->items) round1_[item.object] = item;
-      awaiting_.erase(m.src.value());
+      router_.ack(m.src);
       maybe_finish_round1(ctx);
     } else if (reply->round == 2 && round_ == 2) {
       for (const auto& item : reply->items) round1_[item.object] = item;
-      awaiting_.erase(m.src.value());
-      if (awaiting_.empty()) {
+      if (router_.ack(m.src)) {
         for (const auto& [obj, item] : round1_) {
           deliver_read(obj, item.value);
           context_[obj] = {obj, item.value, item.ts};
@@ -109,8 +103,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
     hlc_.observe(wreply->ts, ctx.now());
     const auto& [obj, value] = active_spec().write_set.front();
     context_[obj] = {obj, value, wreply->ts};
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) complete_active(ctx);
+    if (router_.ack(m.src)) complete_active(ctx);
     return;
   }
 }
@@ -122,7 +115,7 @@ std::string Client::proto_digest() const {
     c << to_string(obj) << "=" << to_string(dep.value) << "@" << dep.ts.str()
       << ",";
   b.field("ctx", c.str());
-  b.field("round", round_).field("await", join(awaiting_, ","));
+  b.field("round", round_).field("await", join(router_.awaiting(), ","));
   b.field("hlc", hlc_.peek().str());
   return b.str();
 }

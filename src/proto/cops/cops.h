@@ -44,7 +44,7 @@ class Client : public ClientBase {
   std::map<ObjectId, kv::Dep> context_;
   clk::HybridLogicalClock hlc_;
 
-  std::set<std::uint64_t> awaiting_;
+  ShardRouter router_;  ///< per-round cross-shard fan-out/join state
   int round_ = 1;
   std::map<ObjectId, ReadItem> round1_;  ///< round-1 answers per object
 };

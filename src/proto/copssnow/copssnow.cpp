@@ -6,17 +6,17 @@
 namespace discs::proto::copssnow {
 
 void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
-  awaiting_.clear();
+  router_.reset();
 
   if (spec.read_only()) {
     // The fast path: one round, done in one client step.
-    for (const auto& [server, objs] : group_by_primary(view(), spec.read_set)) {
-      auto req = std::make_shared<RotRequest>();
-      req->tx = spec.id;
-      req->objects = objs;
-      ctx.send(server, req);
-      awaiting_.insert(server.value());
-    }
+    router_.fan_out(ctx, view(), spec.read_set,
+                    [&](ProcessId, std::vector<ObjectId> objs) {
+                      auto req = std::make_shared<RotRequest>();
+                      req->tx = spec.id;
+                      req->objects = std::move(objs);
+                      return req;
+                    });
     return;
   }
 
@@ -31,9 +31,7 @@ void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
   // dependency chains.
   for (const auto& [dep_obj, dep] : context_) req->deps.push_back(dep);
   req->client_ts = hlc_.tick(ctx.now());
-  ProcessId server = view().primary(obj);
-  ctx.send(server, req);
-  awaiting_.insert(server.value());
+  router_.send(ctx, view().primary(obj), req);
 }
 
 void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
@@ -44,8 +42,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
       context_[item.object] = {item.object, item.value, item.ts};
       hlc_.observe(item.ts, ctx.now());
     }
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty() && all_reads_delivered()) complete_active(ctx);
+    if (router_.ack(m.src) && all_reads_delivered()) complete_active(ctx);
     return;
   }
   if (const auto* reply = m.as<WriteReply>()) {
@@ -53,8 +50,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
     hlc_.observe(reply->ts, ctx.now());
     const auto& [obj, value] = active_spec().write_set.front();
     context_[obj] = {obj, value, reply->ts};
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) complete_active(ctx);
+    if (router_.ack(m.src)) complete_active(ctx);
     return;
   }
 }
@@ -65,7 +61,7 @@ std::string Client::proto_digest() const {
   for (const auto& [obj, dep] : context_)
     c << to_string(obj) << "=" << to_string(dep.value) << "@" << dep.ts.str()
       << ",";
-  b.field("ctx", c.str()).field("await", join(awaiting_, ","));
+  b.field("ctx", c.str()).field("await", join(router_.awaiting(), ","));
   b.field("hlc", hlc_.peek().str());
   return b.str();
 }

@@ -39,7 +39,7 @@ class Client : public ClientBase {
  private:
   std::map<ObjectId, kv::Dep> context_;
   clk::HybridLogicalClock hlc_;
-  std::set<std::uint64_t> awaiting_;
+  ShardRouter router_;  ///< per-round cross-shard fan-out/join state
 };
 
 class Server : public ServerBase {

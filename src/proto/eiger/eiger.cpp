@@ -10,22 +10,22 @@ namespace discs::proto::eiger {
 using clk::HlcTimestamp;
 
 void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
-  awaiting_r1_.clear();
-  awaiting_r2_.clear();
+  router_r1_.reset();
+  router_r2_.reset();
   got_.clear();
   need_.clear();
   candidates_.clear();
   queries_outstanding_ = 0;
 
   if (spec.read_only()) {
-    for (const auto& [server, objs] : group_by_primary(view(), spec.read_set)) {
-      auto req = std::make_shared<RotRequest>();
-      req->tx = spec.id;
-      req->round = 1;
-      req->objects = objs;
-      ctx.send(server, req);
-      awaiting_r1_.insert(server.value());
-    }
+    router_r1_.fan_out(ctx, view(), spec.read_set,
+                       [&](ProcessId, std::vector<ObjectId> objs) {
+                         auto req = std::make_shared<RotRequest>();
+                         req->tx = spec.id;
+                         req->round = 1;
+                         req->objects = std::move(objs);
+                         return req;
+                       });
     return;
   }
 
@@ -84,14 +84,11 @@ void Client::after_round1(sim::StepContext& ctx) {
     req->objects.push_back(obj);
     req->at_least[obj] = ts;
   }
-  for (auto& [server, req] : per_server) {
-    ctx.send(server, req);
-    awaiting_r2_.insert(server.value());
-  }
+  for (auto& [server, req] : per_server) router_r2_.send(ctx, server, req);
 }
 
 void Client::maybe_complete(sim::StepContext& ctx) {
-  if (!awaiting_r1_.empty() || !awaiting_r2_.empty() ||
+  if (!router_r1_.joined() || !router_r2_.joined() ||
       queries_outstanding_ > 0 || !need_.empty())
     return;
   for (auto obj : active_spec().read_set) {
@@ -110,8 +107,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
 
     if (reply->round == 1) {
       for (const auto& item : reply->items) got_[item.object] = item;
-      awaiting_r1_.erase(m.src.value());
-      if (awaiting_r1_.empty()) after_round1(ctx);
+      if (router_r1_.ack(m.src)) after_round1(ctx);
       return;
     }
 
@@ -137,7 +133,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
       ctx.send(p.coordinator, q);
       ++queries_outstanding_;
     }
-    awaiting_r2_.erase(m.src.value());
+    router_r2_.ack(m.src);
     maybe_complete(ctx);
     return;
   }
@@ -189,8 +185,8 @@ std::string Client::proto_digest() const {
     c << to_string(obj) << "=" << to_string(dep.value) << "@" << dep.ts.str()
       << ",";
   b.field("ctx", c.str())
-      .field("r1", join(awaiting_r1_, ","))
-      .field("r2", join(awaiting_r2_, ","))
+      .field("r1", join(router_r1_.awaiting(), ","))
+      .field("r2", join(router_r2_.awaiting(), ","))
       .field("needs", need_.size())
       .field("queries", queries_outstanding_)
       .field("hlc", hlc_.peek().str());

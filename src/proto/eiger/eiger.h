@@ -44,8 +44,8 @@ class Client : public ClientBase {
   clk::HybridLogicalClock hlc_;
   std::map<ObjectId, kv::Dep> context_;
 
-  std::set<std::uint64_t> awaiting_r1_;
-  std::set<std::uint64_t> awaiting_r2_;
+  ShardRouter router_r1_;  ///< round-1 cross-shard fan-out/join
+  ShardRouter router_r2_;  ///< round-2 re-fetch fan-out/join
   std::map<ObjectId, ReadItem> got_;
   std::map<ObjectId, clk::HlcTimestamp> need_;
   /// Pending candidates under round-3 status checks: object -> candidate.

@@ -6,17 +6,17 @@
 namespace discs::proto::fatcops {
 
 void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
-  awaiting_.clear();
+  router_.reset();
   best_.clear();
 
   if (spec.read_only()) {
-    for (const auto& [server, objs] : group_by_primary(view(), spec.read_set)) {
-      auto req = std::make_shared<RotRequest>();
-      req->tx = spec.id;
-      req->objects = objs;
-      ctx.send(server, req);
-      awaiting_.insert(server.value());
-    }
+    router_.fan_out(ctx, view(), spec.read_set,
+                    [&](ProcessId, std::vector<ObjectId> objs) {
+                      auto req = std::make_shared<RotRequest>();
+                      req->tx = spec.id;
+                      req->objects = std::move(objs);
+                      return req;
+                    });
     return;
   }
 
@@ -43,8 +43,7 @@ void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
       req->deps.push_back({obj, item.value, item.ts});
       req->dep_values.push_back(item);
     }
-    ctx.send(server, req);
-    awaiting_.insert(server.value());
+    router_.send(ctx, server, req);
   }
 
   // Writing extends the client's own context (with the shared ts).
@@ -71,8 +70,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
       hlc_.observe(item.ts, ctx.now());
     }
     for (const auto& item : reply->extras) observe_candidate(item);
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) {
+    if (router_.ack(m.src)) {
       for (auto obj : active_spec().read_set) {
         auto it = best_.find(obj);
         if (it != best_.end()) deliver_read(obj, it->second.value);
@@ -84,8 +82,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
   if (const auto* reply = m.as<WriteReply>()) {
     if (!has_active() || reply->tx != active_spec().id) return;
     hlc_.observe(reply->ts, ctx.now());
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) complete_active(ctx);
+    if (router_.ack(m.src)) complete_active(ctx);
     return;
   }
 }
@@ -96,7 +93,7 @@ std::string Client::proto_digest() const {
   for (const auto& [obj, item] : context_)
     c << to_string(obj) << "=" << to_string(item.value) << "@"
       << item.ts.str() << ",";
-  b.field("ctx", c.str()).field("await", join(awaiting_, ","));
+  b.field("ctx", c.str()).field("await", join(router_.awaiting(), ","));
   b.field("hlc", hlc_.peek().str());
   return b.str();
 }

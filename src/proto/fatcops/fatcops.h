@@ -38,7 +38,7 @@ class Client : public ClientBase {
   /// Everything this client causally depends on, WITH values (the fat part).
   std::map<ObjectId, ReadItem> context_;
 
-  std::set<std::uint64_t> awaiting_;
+  ShardRouter router_;  ///< per-round cross-shard fan-out/join state
   /// Best candidate seen per read object this transaction (max timestamp).
   std::map<ObjectId, ReadItem> best_;
 };

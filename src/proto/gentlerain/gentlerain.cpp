@@ -10,16 +10,14 @@ namespace discs::proto::gentlerain {
 using clk::HlcTimestamp;
 
 void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
-  awaiting_.clear();
+  router_.reset();
   got_.clear();
 
   if (spec.read_only()) {
     phase_ = 1;
     auto req = std::make_shared<SnapshotRequest>();
     req->tx = spec.id;
-    ProcessId server = view().primary(spec.read_set.front());
-    ctx.send(server, req);
-    awaiting_.insert(server.value());
+    router_.send(ctx, view().primary(spec.read_set.front()), req);
     return;
   }
 
@@ -32,9 +30,7 @@ void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
   req->tx = spec.id;
   req->writes = {{obj, value}};
   req->client_ts = hlc_.tick(ctx.now());
-  ProcessId server = view().primary(obj);
-  ctx.send(server, req);
-  awaiting_.insert(server.value());
+  router_.send(ctx, view().primary(obj), req);
 }
 
 void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
@@ -45,17 +41,16 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
     // will block until it has.
     snapshot_ = std::max(sr->snapshot, dep_ts_);
     phase_ = 2;
-    awaiting_.clear();
-    for (const auto& [server, objs] :
-         group_by_primary(view(), active_spec().read_set)) {
-      auto req = std::make_shared<RotRequest>();
-      req->tx = active_spec().id;
-      req->round = 2;
-      req->objects = objs;
-      req->snapshot = snapshot_;
-      ctx.send(server, req);
-      awaiting_.insert(server.value());
-    }
+    router_.reset();
+    router_.fan_out(ctx, view(), active_spec().read_set,
+                    [&](ProcessId, std::vector<ObjectId> objs) {
+                      auto req = std::make_shared<RotRequest>();
+                      req->tx = active_spec().id;
+                      req->round = 2;
+                      req->objects = std::move(objs);
+                      req->snapshot = snapshot_;
+                      return req;
+                    });
     return;
   }
 
@@ -66,8 +61,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
       dep_ts_ = std::max(dep_ts_, item.ts);
       hlc_.observe(item.ts, ctx.now());
     }
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) {
+    if (router_.ack(m.src)) {
       for (const auto& [obj, item] : got_) deliver_read(obj, item.value);
       complete_active(ctx);
     }
@@ -78,8 +72,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
     if (!has_active() || reply->tx != active_spec().id) return;
     hlc_.observe(reply->ts, ctx.now());
     dep_ts_ = std::max(dep_ts_, reply->ts);
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) complete_active(ctx);
+    if (router_.ack(m.src)) complete_active(ctx);
     return;
   }
 }
@@ -89,7 +82,7 @@ std::string Client::proto_digest() const {
       .field("phase", phase_)
       .field("dep", dep_ts_.str())
       .field("snap", snapshot_.str())
-      .field("await", join(awaiting_, ","))
+      .field("await", join(router_.awaiting(), ","))
       .field("hlc", hlc_.peek().str())
       .str();
 }

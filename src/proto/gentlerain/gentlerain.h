@@ -41,7 +41,7 @@ class Client : public ClientBase {
  private:
   clk::HybridLogicalClock hlc_;
   clk::HlcTimestamp dep_ts_{};  ///< max timestamp observed or written
-  std::set<std::uint64_t> awaiting_;
+  ShardRouter router_;  ///< per-round cross-shard fan-out/join state
   int phase_ = 0;
   clk::HlcTimestamp snapshot_{};
   std::map<ObjectId, ReadItem> got_;

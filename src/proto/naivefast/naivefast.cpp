@@ -5,15 +5,15 @@
 namespace discs::proto::naivefast {
 
 void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
-  awaiting_.clear();
+  router_.reset();
   if (spec.read_only()) {
-    for (const auto& [server, objs] : group_by_primary(view(), spec.read_set)) {
-      auto req = std::make_shared<RotRequest>();
-      req->tx = spec.id;
-      req->objects = objs;
-      ctx.send(server, req);
-      awaiting_.insert(server.value());
-    }
+    router_.fan_out(ctx, view(), spec.read_set,
+                    [&](ProcessId, std::vector<ObjectId> objs) {
+                      auto req = std::make_shared<RotRequest>();
+                      req->tx = spec.id;
+                      req->objects = std::move(objs);
+                      return req;
+                    });
     return;
   }
   // Write-only: one direct write per involved server (every replica under
@@ -27,8 +27,7 @@ void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
     req->tx = spec.id;
     req->writes = writes;
     req->client_ts = hlc_.tick(ctx.now());
-    ctx.send(server, req);
-    awaiting_.insert(server.value());
+    router_.send(ctx, server, req);
   }
 }
 
@@ -36,22 +35,20 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
   if (const auto* reply = m.as<RotReply>()) {
     if (!has_active() || reply->tx != active_spec().id) return;
     for (const auto& item : reply->items) deliver_read(item.object, item.value);
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty() && all_reads_delivered()) complete_active(ctx);
+    if (router_.ack(m.src) && all_reads_delivered()) complete_active(ctx);
     return;
   }
   if (const auto* reply = m.as<WriteReply>()) {
     if (!has_active() || reply->tx != active_spec().id) return;
     hlc_.observe(reply->ts, ctx.now());
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) complete_active(ctx);
+    if (router_.ack(m.src)) complete_active(ctx);
     return;
   }
 }
 
 std::string Client::proto_digest() const {
   sim::DigestBuilder b;
-  b.field("await", join(awaiting_, ","));
+  b.field("await", join(router_.awaiting(), ","));
   b.field("hlc", hlc_.peek().str());
   return b.str();
 }

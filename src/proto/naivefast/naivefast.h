@@ -33,7 +33,7 @@ class Client : public ClientBase {
   std::string proto_digest() const override;
 
  private:
-  std::set<std::uint64_t> awaiting_;  ///< servers still owing a reply
+  ShardRouter router_;  ///< per-round cross-shard fan-out/join state
   clk::HybridLogicalClock hlc_;
 };
 

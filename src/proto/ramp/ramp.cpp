@@ -10,39 +10,39 @@ namespace discs::proto::ramp {
 using clk::HlcTimestamp;
 
 void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
-  awaiting_.clear();
+  router_.reset();
   got_.clear();
   phase_ = 1;
 
   if (spec.read_only()) {
-    for (const auto& [server, objs] : group_by_primary(view(), spec.read_set)) {
-      auto req = std::make_shared<RotRequest>();
-      req->tx = spec.id;
-      req->round = 1;
-      req->objects = objs;
-      ctx.send(server, req);
-      awaiting_.insert(server.value());
-    }
+    router_.fan_out(ctx, view(), spec.read_set,
+                    [&](ProcessId, std::vector<ObjectId> objs) {
+                      auto req = std::make_shared<RotRequest>();
+                      req->tx = spec.id;
+                      req->round = 1;
+                      req->objects = std::move(objs);
+                      return req;
+                    });
     return;
   }
 
   // PREPARE at every involved partition with the full sibling list.
   write_ts_ = hlc_.tick(ctx.now());
-  for (const auto& [server, objs] :
-       group_by_primary(view(), [&] {
-         std::vector<ObjectId> objects;
-         for (const auto& [obj, v] : spec.write_set) objects.push_back(obj);
-         return objects;
-       }())) {
-    (void)objs;
-    auto req = std::make_shared<Prepare>();
-    req->tx = spec.id;
-    req->coordinator = id();
-    req->writes = spec.write_set;
-    req->client_ts = write_ts_;
-    ctx.send(server, req);
-    awaiting_.insert(server.value());
-  }
+  router_.fan_out(ctx, view(),
+                  [&] {
+                    std::vector<ObjectId> objects;
+                    for (const auto& [obj, v] : spec.write_set)
+                      objects.push_back(obj);
+                    return objects;
+                  }(),
+                  [&](ProcessId, std::vector<ObjectId>) {
+                    auto req = std::make_shared<Prepare>();
+                    req->tx = spec.id;
+                    req->coordinator = id();
+                    req->writes = spec.write_set;
+                    req->client_ts = write_ts_;
+                    return req;
+                  });
 }
 
 void Client::after_round1(sim::StepContext& ctx) {
@@ -84,10 +84,7 @@ void Client::after_round1(sim::StepContext& ctx) {
     req->objects.push_back(obj);
     req->at_least[obj] = ts;
   }
-  for (auto& [server, req] : per_server) {
-    ctx.send(server, req);
-    awaiting_.insert(server.value());
-  }
+  for (auto& [server, req] : per_server) router_.send(ctx, server, req);
 }
 
 void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
@@ -100,8 +97,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
         got_[item.object] = item;
       hlc_.observe(item.ts, ctx.now());
     }
-    awaiting_.erase(m.src.value());
-    if (!awaiting_.empty()) return;
+    if (!router_.ack(m.src)) return;
     if (reply->round == 1 && phase_ == 1) {
       after_round1(ctx);
     } else {
@@ -116,8 +112,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
 
   if (const auto* ack = m.as<PrepareAck>()) {
     if (!has_active() || ack->tx != active_spec().id || phase_ != 1) return;
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) {
+    if (router_.ack(m.src)) {
       phase_ = 2;
       std::set<std::uint64_t> participants;
       for (const auto& [obj, v] : active_spec().write_set)
@@ -126,8 +121,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
         auto c = std::make_shared<Commit>();
         c->tx = active_spec().id;
         c->commit_ts = write_ts_;
-        ctx.send(ProcessId(sid), c);
-        awaiting_.insert(sid);
+        router_.send(ctx, ProcessId(sid), c);
       }
     }
     return;
@@ -135,8 +129,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
 
   if (const auto* ack = m.as<CommitAck>()) {
     if (!has_active() || ack->tx != active_spec().id || phase_ != 2) return;
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) complete_active(ctx);
+    if (router_.ack(m.src)) complete_active(ctx);
     return;
   }
 }
@@ -144,7 +137,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
 std::string Client::proto_digest() const {
   return sim::DigestBuilder()
       .field("phase", phase_)
-      .field("await", join(awaiting_, ","))
+      .field("await", join(router_.awaiting(), ","))
       .field("wts", write_ts_.str())
       .field("hlc", hlc_.peek().str())
       .str();

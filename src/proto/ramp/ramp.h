@@ -46,7 +46,7 @@ class Client : public ClientBase {
   void after_round1(sim::StepContext& ctx);
 
   clk::HybridLogicalClock hlc_;
-  std::set<std::uint64_t> awaiting_;
+  ShardRouter router_;  ///< per-round cross-shard fan-out/join state
   int phase_ = 0;  // writes: 1 prepare, 2 commit; reads: 1, 2
   std::map<ObjectId, ReadItem> got_;
   clk::HlcTimestamp write_ts_{};

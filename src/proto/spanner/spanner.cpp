@@ -23,20 +23,20 @@ HlcTimestamp ts_of(std::uint64_t physical) { return {physical, 0}; }
 }  // namespace
 
 void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
-  awaiting_.clear();
+  router_.reset();
 
   if (spec.read_only()) {
     // One round: the client picks s_read from its own TrueTime; servers
     // below that safe time will hold the reply (blocking).
     std::uint64_t s_read = tt_.now(ctx.now()).latest;
-    for (const auto& [server, objs] : group_by_primary(view(), spec.read_set)) {
-      auto req = std::make_shared<RotRequest>();
-      req->tx = spec.id;
-      req->objects = objs;
-      req->snapshot = ts_of(s_read);
-      ctx.send(server, req);
-      awaiting_.insert(server.value());
-    }
+    router_.fan_out(ctx, view(), spec.read_set,
+                    [&](ProcessId, std::vector<ObjectId> objs) {
+                      auto req = std::make_shared<RotRequest>();
+                      req->tx = spec.id;
+                      req->objects = std::move(objs);
+                      req->snapshot = ts_of(s_read);
+                      return req;
+                    });
     return;
   }
 
@@ -51,8 +51,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
   if (const auto* reply = m.as<RotReply>()) {
     if (!has_active() || reply->tx != active_spec().id) return;
     for (const auto& item : reply->items) deliver_read(item.object, item.value);
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty() && all_reads_delivered()) complete_active(ctx);
+    if (router_.ack(m.src) && all_reads_delivered()) complete_active(ctx);
     return;
   }
   if (const auto* reply = m.as<WriteReply>()) {
@@ -63,7 +62,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
 }
 
 std::string Client::proto_digest() const {
-  return sim::DigestBuilder().field("await", join(awaiting_, ",")).str();
+  return sim::DigestBuilder().field("await", join(router_.awaiting(), ",")).str();
 }
 
 std::uint64_t Server::safe_time(std::uint64_t now) const {

@@ -46,7 +46,7 @@ class Client : public ClientBase {
 
  private:
   clk::TrueTimeSim tt_;
-  std::set<std::uint64_t> awaiting_;
+  ShardRouter router_;  ///< per-round cross-shard fan-out/join state
 };
 
 class Server : public ServerBase {

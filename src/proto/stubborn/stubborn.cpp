@@ -5,15 +5,15 @@
 namespace discs::proto::stubborn {
 
 void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
-  awaiting_.clear();
+  router_.reset();
   if (spec.read_only()) {
-    for (const auto& [server, objs] : group_by_primary(view(), spec.read_set)) {
-      auto req = std::make_shared<RotRequest>();
-      req->tx = spec.id;
-      req->objects = objs;
-      ctx.send(server, req);
-      awaiting_.insert(server.value());
-    }
+    router_.fan_out(ctx, view(), spec.read_set,
+                    [&](ProcessId, std::vector<ObjectId> objs) {
+                      auto req = std::make_shared<RotRequest>();
+                      req->tx = spec.id;
+                      req->objects = std::move(objs);
+                      return req;
+                    });
     return;
   }
   std::map<ProcessId, std::vector<std::pair<ObjectId, ValueId>>> per_server;
@@ -24,8 +24,7 @@ void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
     auto req = std::make_shared<WriteRequest>();
     req->tx = spec.id;
     req->writes = writes;
-    ctx.send(server, req);
-    awaiting_.insert(server.value());
+    router_.send(ctx, server, req);
   }
 }
 
@@ -33,20 +32,18 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
   if (const auto* reply = m.as<RotReply>()) {
     if (!has_active() || reply->tx != active_spec().id) return;
     for (const auto& item : reply->items) deliver_read(item.object, item.value);
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty() && all_reads_delivered()) complete_active(ctx);
+    if (router_.ack(m.src) && all_reads_delivered()) complete_active(ctx);
     return;
   }
   if (const auto* reply = m.as<WriteReply>()) {
     if (!has_active() || reply->tx != active_spec().id) return;
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) complete_active(ctx);
+    if (router_.ack(m.src)) complete_active(ctx);
     return;
   }
 }
 
 std::string Client::proto_digest() const {
-  return sim::DigestBuilder().field("await", join(awaiting_, ",")).str();
+  return sim::DigestBuilder().field("await", join(router_.awaiting(), ",")).str();
 }
 
 void Server::on_message(sim::StepContext& ctx, const sim::Message& m) {

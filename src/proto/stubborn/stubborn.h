@@ -36,7 +36,7 @@ class Client : public ClientBase {
   std::string proto_digest() const override;
 
  private:
-  std::set<std::uint64_t> awaiting_;
+  ShardRouter router_;  ///< per-round cross-shard fan-out/join state
 };
 
 class Server : public ServerBase {

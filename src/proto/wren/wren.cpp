@@ -10,7 +10,7 @@ namespace discs::proto::wren {
 using clk::HlcTimestamp;
 
 void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
-  awaiting_.clear();
+  router_.reset();
   got_.clear();
   max_proposed_ = {};
 
@@ -20,29 +20,27 @@ void Client::start_tx(sim::StepContext& ctx, const TxSpec& spec) {
     phase_ = 1;
     auto req = std::make_shared<SnapshotRequest>();
     req->tx = spec.id;
-    ProcessId server = view().primary(spec.read_set.front());
-    ctx.send(server, req);
-    awaiting_.insert(server.value());
+    router_.send(ctx, view().primary(spec.read_set.front()), req);
     return;
   }
 
   // Write transaction, phase 1: prepare at every involved partition.
   phase_ = 1;
-  for (const auto& [server, objs] :
-       group_by_primary(view(), [&] {
-         std::vector<ObjectId> objects;
-         for (const auto& [obj, v] : spec.write_set) objects.push_back(obj);
-         return objects;
-       }())) {
-    (void)objs;
-    auto req = std::make_shared<Prepare>();
-    req->tx = spec.id;
-    req->coordinator = id();
-    req->writes = spec.write_set;
-    req->client_ts = hlc_.tick(ctx.now());
-    ctx.send(server, req);
-    awaiting_.insert(server.value());
-  }
+  router_.fan_out(ctx, view(),
+                  [&] {
+                    std::vector<ObjectId> objects;
+                    for (const auto& [obj, v] : spec.write_set)
+                      objects.push_back(obj);
+                    return objects;
+                  }(),
+                  [&](ProcessId, std::vector<ObjectId>) {
+                    auto req = std::make_shared<Prepare>();
+                    req->tx = spec.id;
+                    req->coordinator = id();
+                    req->writes = spec.write_set;
+                    req->client_ts = hlc_.tick(ctx.now());
+                    return req;
+                  });
 }
 
 void Client::finish_reads(sim::StepContext& ctx) {
@@ -69,17 +67,16 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
     snapshot_ = std::max(sr->snapshot, last_snapshot_);
     last_snapshot_ = snapshot_;
     phase_ = 2;
-    awaiting_.clear();
-    for (const auto& [server, objs] :
-         group_by_primary(view(), active_spec().read_set)) {
-      auto req = std::make_shared<RotRequest>();
-      req->tx = active_spec().id;
-      req->round = 2;
-      req->objects = objs;
-      req->snapshot = snapshot_;
-      ctx.send(server, req);
-      awaiting_.insert(server.value());
-    }
+    router_.reset();
+    router_.fan_out(ctx, view(), active_spec().read_set,
+                    [&](ProcessId, std::vector<ObjectId> objs) {
+                      auto req = std::make_shared<RotRequest>();
+                      req->tx = active_spec().id;
+                      req->round = 2;
+                      req->objects = std::move(objs);
+                      req->snapshot = snapshot_;
+                      return req;
+                    });
     return;
   }
 
@@ -89,16 +86,14 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
       got_[item.object] = item;
       hlc_.observe(item.ts, ctx.now());
     }
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) finish_reads(ctx);
+    if (router_.ack(m.src)) finish_reads(ctx);
     return;
   }
 
   if (const auto* ack = m.as<PrepareAck>()) {
     if (!has_active() || ack->tx != active_spec().id || phase_ != 1) return;
     max_proposed_ = std::max(max_proposed_, ack->proposed);
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) {
+    if (router_.ack(m.src)) {
       // Phase 2: commit everywhere at the maximum proposal.
       phase_ = 2;
       hlc_.observe(max_proposed_, ctx.now());
@@ -109,8 +104,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
         auto c = std::make_shared<Commit>();
         c->tx = active_spec().id;
         c->commit_ts = max_proposed_;
-        ctx.send(ProcessId(sid), c);
-        awaiting_.insert(sid);
+        router_.send(ctx, ProcessId(sid), c);
       }
     }
     return;
@@ -118,8 +112,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
 
   if (const auto* ack = m.as<CommitAck>()) {
     if (!has_active() || ack->tx != active_spec().id || phase_ != 2) return;
-    awaiting_.erase(m.src.value());
-    if (awaiting_.empty()) {
+    if (router_.ack(m.src)) {
       for (const auto& [obj, v] : active_spec().write_set)
         own_cache_[obj] = {v, ack->commit_ts};
       complete_active(ctx);
@@ -131,7 +124,7 @@ void Client::on_message(sim::StepContext& ctx, const sim::Message& m) {
 std::string Client::proto_digest() const {
   sim::DigestBuilder b;
   b.field("phase", phase_)
-      .field("await", join(awaiting_, ","))
+      .field("await", join(router_.awaiting(), ","))
       .field("snap", snapshot_.str())
       .field("lastsnap", last_snapshot_.str())
       .field("hlc", hlc_.peek().str());

@@ -44,7 +44,7 @@ class Client : public ClientBase {
   clk::HlcTimestamp last_snapshot_{};
 
   // Per-transaction scratch state.
-  std::set<std::uint64_t> awaiting_;
+  ShardRouter router_;  ///< per-round cross-shard fan-out/join state
   int phase_ = 0;  ///< reads: 1=snapshot,2=read; writes: 1=prepare,2=commit
   clk::HlcTimestamp snapshot_{};
   std::map<ObjectId, ReadItem> got_;

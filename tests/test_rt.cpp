@@ -289,6 +289,8 @@ TEST(RtBackend, SpanDagReauditMatchesLiveAuditForEveryProtocol) {
       EXPECT_EQ(offline.nonblocking, live.nonblocking);
       EXPECT_EQ(offline.deferred_replies, live.deferred_replies);
       EXPECT_EQ(offline.max_values_per_message, live.max_values_per_message);
+      EXPECT_EQ(offline.max_values_per_object_per_message,
+                live.max_values_per_object_per_message);
       EXPECT_EQ(offline.max_values_per_object, live.max_values_per_object);
       EXPECT_EQ(offline.leaked_foreign_values, live.leaked_foreign_values);
       EXPECT_EQ(offline.single_server_per_object,
