@@ -10,10 +10,17 @@
 // check_bench_regression.py for *coverage* only, like BENCH_sim.json.
 //
 // Custom main (the bench_sim pattern):
-//   --smoke        tiny workload + min_time (CI wiring check)
-//   --out=PATH     JSON results path (default BENCH_rt.json)
+//   --smoke            tiny workload + min_time (CI wiring check)
+//   --out=PATH         JSON results path (default BENCH_rt.json)
+//   --metrics-out=PATH discs.metrics.v1 timeline from the sampled variant
+//                      (BM_RtSustainedSampled) — the artifact CI uploads;
+//                      render with `trace_explorer timeline`
 // plus all standard --benchmark_* flags.  Exits nonzero if registration
 // fails or zero benchmarks run.
+//
+// BM_RtSustainedSampled runs the same regime as BM_RtSustained with the
+// metrics sampler on (2ms cadence); comparing the two pins the sampler
+// overhead budget (docs/OBSERVABILITY.md: ≤5%).
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -30,6 +37,7 @@ using namespace discs;
 namespace {
 
 std::size_t g_num_txs = 400;
+std::string g_metrics_out;  // --metrics-out=PATH (empty = sample in memory)
 
 proto::ClusterConfig cluster_config() {
   proto::ClusterConfig ccfg;
@@ -40,11 +48,15 @@ proto::ClusterConfig cluster_config() {
 }
 
 /// One sustained rt run per iteration; workers from the benchmark arg.
-void BM_RtSustained(benchmark::State& state, const std::string& name) {
+/// `sampled` turns the metrics sampler on (2ms cadence) — the overhead
+/// comparator and, with --metrics-out, the timeline artifact emitter.
+void run_sustained(benchmark::State& state, const std::string& name,
+                   bool sampled) {
   auto protocol = proto::protocol_by_name(name);
   const auto workers = static_cast<std::size_t>(state.range(0));
   std::size_t txs = 0;
   std::uint64_t events = 0;
+  std::size_t samples = 0;
   obs::Histogram latency;
   for (auto _ : state) {
     wl::WorkloadConfig wcfg;
@@ -54,10 +66,15 @@ void BM_RtSustained(benchmark::State& state, const std::string& name) {
     rt::Options opts;
     opts.workers = workers;
     opts.capture = false;
+    if (sampled) {
+      opts.metrics_interval_us = 2000;
+      opts.metrics_path = g_metrics_out;  // empty = in-memory series only
+    }
     rt::RunReport rep = rt::run(*protocol, cluster_config(), wcfg, opts);
     benchmark::DoNotOptimize(rep.events);
     txs += rep.txs_completed;
     events += rep.events;
+    samples += rep.metrics.samples.size();
     latency.merge(rep.latency_us);
   }
   state.counters["tx/s"] = benchmark::Counter(static_cast<double>(txs),
@@ -68,6 +85,15 @@ void BM_RtSustained(benchmark::State& state, const std::string& name) {
   state.counters["p95_us"] = latency.p95();
   state.counters["p99_us"] = latency.p99();
   state.counters["workers"] = static_cast<double>(workers);
+  if (sampled) state.counters["samples"] = static_cast<double>(samples);
+}
+
+void BM_RtSustained(benchmark::State& state, const std::string& name) {
+  run_sustained(state, name, /*sampled=*/false);
+}
+
+void BM_RtSustainedSampled(benchmark::State& state, const std::string& name) {
+  run_sustained(state, name, /*sampled=*/true);
 }
 
 /// Dynamic registration so a bad protocol name surfaces as a nonzero exit,
@@ -83,6 +109,14 @@ bool register_benchmarks() {
       b->Unit(benchmark::kMillisecond);
       b->UseRealTime();  // worker threads do the work; CPU time misleads
     }
+    // One sampled configuration: against BM_RtSustained/cops/4 it pins the
+    // sampler overhead, and with --metrics-out it writes the CI timeline.
+    auto* s = benchmark::RegisterBenchmark(
+        "BM_RtSustainedSampled/cops", BM_RtSustainedSampled,
+        std::string("cops"));
+    s->Arg(4);
+    s->Unit(benchmark::kMillisecond);
+    s->UseRealTime();
     return true;
   } catch (const std::exception& e) {
     std::cerr << "bench_rt: registration failed: " << e.what() << "\n";
@@ -105,6 +139,10 @@ int main(int argc, char** argv) {
     }
     if (a.rfind("--out=", 0) == 0) {
       out_path = std::string(a.substr(6));
+      continue;
+    }
+    if (a.rfind("--metrics-out=", 0) == 0) {
+      g_metrics_out = std::string(a.substr(14));
       continue;
     }
     args.push_back(argv[i]);

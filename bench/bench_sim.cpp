@@ -35,6 +35,7 @@
 #include "proto/common/client.h"
 #include "proto/registry.h"
 #include "sim/schedule.h"
+#include "util/rng.h"
 #include "workload/workload.h"
 
 using namespace discs;
@@ -269,6 +270,53 @@ void BM_KvLatestVisibleAt(benchmark::State& state) {
   }
 }
 
+/// run_random cost against a deep in-flight backlog.  The scheduler used
+/// to rebuild its deliverable set from the whole in-flight list on every
+/// round — O(backlog) per event, quadratic across a run that keeps the
+/// network full; it now maintains the set incrementally (order-preserving
+/// erase on deliver, tail-scan of a step's sends).  stubborn with one pending
+/// write gossips every tick (m-1 messages per server step), so the
+/// backlog stays near its seeded depth for the whole measurement.
+void BM_RandomSchedulerBacklog(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  auto protocol = proto::protocol_by_name("stubborn");
+  proto::ClusterConfig ccfg;
+  ccfg.num_servers = 8;
+  ccfg.num_clients = 2;
+  ccfg.num_objects = 8;
+  sim::Simulation base;
+  proto::IdSource ids;
+  proto::Cluster cluster = protocol->build(base, ccfg, ids);
+
+  // Seed one pending write so server ticks gossip forever.
+  auto spec = ids.write_one(cluster.view.objects[0]);
+  base.process_as<ClientBase>(cluster.clients[0]).invoke(spec);
+  base.step(cluster.clients[0]);
+  std::vector<MsgId> seed;
+  for (const auto& m : base.network().in_flight()) seed.push_back(m.id);
+  for (auto id : seed) base.deliver(id);
+  for (auto s : cluster.view.servers) base.step(s);
+
+  // Grow the backlog to the requested depth with undelivered gossip.
+  std::size_t i = 0;
+  while (base.network().in_flight_count() < depth &&
+         i < depth * 100)
+    base.step(cluster.view.servers[i++ % cluster.view.servers.size()]);
+
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulation sim = base;
+    Rng rng(7);
+    auto stats = sim::run_random(sim, {}, rng, nullptr, 1000);
+    events += stats.events();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["backlog"] =
+      static_cast<double>(base.network().in_flight_count());
+}
+
 void BM_FairSchedulerSteps(benchmark::State& state) {
   auto protocol = proto::protocol_by_name("cops-snow");
   proto::ClusterConfig ccfg;
@@ -435,6 +483,10 @@ bool register_benchmarks(bool smoke) {
           ->Arg(n);
     benchmark::RegisterBenchmark("BM_FairSchedulerSteps",
                                  BM_FairSchedulerSteps);
+    for (auto d : {256, 1024, 4096})
+      benchmark::RegisterBenchmark("BM_RandomSchedulerBacklog",
+                                   BM_RandomSchedulerBacklog)
+          ->Arg(d);
     benchmark::RegisterBenchmark("BM_ParallelForSpawn", BM_ParallelForSpawn);
     benchmark::RegisterBenchmark("BM_ParallelForPooled", BM_ParallelForPooled);
   } catch (const std::exception& e) {

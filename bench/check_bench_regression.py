@@ -2,6 +2,7 @@
 """Bench regression guard: compare a bench JSON against its committed baseline.
 
 Usage: check_bench_regression.py BASELINE CURRENT [--threshold=0.25]
+       check_bench_regression.py --validate-metrics FILE
 
 Two artifact flavors are understood:
 
@@ -19,6 +20,12 @@ Two artifact flavors are understood:
   family named in the baseline must still be registered and measured in the
   current run.  A silently vanished benchmark is a regression in what CI
   measures even when everything that still runs got faster.
+
+The bench job additionally emits a discs.metrics.v1 timeline
+(bench_rt --metrics-out); --validate-metrics structurally checks that
+artifact (header line with the right schema, parseable sample lines,
+monotone at_us) so a malformed upload fails the job instead of landing
+silently.
 
 Exit status: 0 all guards hold, 1 regression, 2 usage/parse error.
 """
@@ -67,10 +74,58 @@ def check_coverage(base, cur):
     return len(missing)
 
 
+def validate_metrics(path):
+    try:
+        with open(path) as f:
+            lines = [ln for ln in f.read().splitlines() if ln]
+    except OSError as e:
+        fail(f"cannot read '{path}': {e}")
+        return 2
+    if not lines:
+        fail(f"'{path}' is empty (no header line)")
+        return 1
+    try:
+        records = [json.loads(ln) for ln in lines]
+    except ValueError as e:
+        fail(f"'{path}' has a malformed JSONL line: {e}")
+        return 1
+    header = records[0]
+    if header.get("record") != "header":
+        fail(f"'{path}' does not start with a header record")
+        return 1
+    if header.get("schema") != "discs.metrics.v1":
+        fail(f"'{path}' has schema '{header.get('schema')}', "
+             "expected discs.metrics.v1")
+        return 1
+    prev_at = -1
+    for i, rec in enumerate(records[1:], start=2):
+        if rec.get("record") != "sample":
+            fail(f"'{path}' line {i}: unexpected record "
+                 f"'{rec.get('record')}'")
+            return 1
+        at = rec.get("at_us")
+        if not isinstance(at, int) or at < prev_at:
+            fail(f"'{path}' line {i}: at_us {at!r} not monotone")
+            return 1
+        prev_at = at
+    print(
+        f"check_bench_regression: '{path}' is a valid discs.metrics.v1 "
+        f"timeline ({len(records) - 1} samples, source "
+        f"'{header.get('source', '')}')"
+    )
+    return 0
+
+
 def main(argv):
     threshold = 0.25
     paths = []
-    for arg in argv[1:]:
+    args = argv[1:]
+    if args and args[0] == "--validate-metrics":
+        if len(args) != 2:
+            print(__doc__.strip())
+            return 2
+        return validate_metrics(args[1])
+    for arg in args:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
         else:

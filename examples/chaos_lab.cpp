@@ -8,8 +8,15 @@
 //
 //   chaos_lab [--protocol NAME] [--runs N] [--seed S] [--txs N]
 //             [--shards N] [--servers M] [--objects K] [--replicas R]
-//             [--no-exactly-once] [--no-journal] [--out DIR]
+//             [--no-exactly-once] [--no-journal] [--out DIR] [--flight N]
 //   chaos_lab --repro FILE        re-execute a saved counterexample
+//
+// Flight recorder (--flight N, default 64, 0 = off): every violation's
+// trace tail is embedded in the repro spec AND written standalone as
+// "discs.flight.v1" JSONL next to it (chaos-<proto>-<i>.flight.json).  A
+// crash signal (SIGSEGV/SIGABRT) dumps the most recent tail to
+// <out>/chaos-crash.flight.json from an async-signal-safe handler that
+// write()s a buffer pre-serialized between campaigns.
 //
 // --shards switches the cluster to the sharded, partially-replicated
 // regime (docs/SHARDING.md); pair with --servers/--objects/--replicas to
@@ -20,6 +27,11 @@
 // durable journal ON — the hardened stack the campaign certifies.  The
 // --no-* switches expose the unhardened corners (and make for interesting
 // counterexamples: try `--protocol cops --no-journal`).
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -27,10 +39,44 @@
 #include <vector>
 
 #include "chaos/chaos.h"
+#include "obs/flight.h"
 #include "proto/registry.h"
 #include "util/check.h"
 
 using namespace discs;
+
+namespace {
+
+// Crash dump plumbing.  The handler may run at any point, so it cannot
+// allocate, format, or touch stdio — it write()s bytes that were fully
+// serialized earlier, on the main thread, between campaign runs.  The
+// ready flag gates the handler off while the buffers are being refreshed.
+std::string g_crash_dump_path;
+std::string g_crash_dump;
+std::atomic<bool> g_crash_dump_ready{false};
+
+extern "C" void flight_signal_handler(int sig) {
+  if (g_crash_dump_ready.load(std::memory_order_acquire)) {
+    int fd = ::open(g_crash_dump_path.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ssize_t n = ::write(fd, g_crash_dump.data(), g_crash_dump.size());
+      (void)n;
+      ::close(fd);
+    }
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void refresh_crash_dump(const std::string& path, const std::string& dump) {
+  g_crash_dump_ready.store(false, std::memory_order_release);
+  g_crash_dump_path = path;
+  g_crash_dump = dump;
+  g_crash_dump_ready.store(true, std::memory_order_release);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   chaos::CampaignConfig cfg;
@@ -67,6 +113,8 @@ int main(int argc, char** argv) {
       cfg.cluster.exactly_once = false;
     } else if (arg == "--no-journal") {
       cfg.cluster.durable_journal = false;
+    } else if (arg == "--flight") {
+      cfg.flight_capacity = std::stoul(next());
     } else if (arg == "--out") {
       out_dir = next();
     } else if (arg == "--repro") {
@@ -105,6 +153,9 @@ int main(int argc, char** argv) {
               << "): observed " << chaos::violation_class_str(outcome.violation)
               << (outcome.detail.empty() ? "" : " — " + outcome.detail)
               << "\n";
+    if (!spec.flight.empty())
+      std::cout << "  flight: " << spec.flight.size()
+                << " event(s) recorded at capture\n";
     // Exit 0 when the observation matches the expectation recorded in the
     // spec — for pinned-known-bad specs that means "still reproduces".
     return outcome.violation == spec.expected ? 0 : 1;
@@ -113,6 +164,11 @@ int main(int argc, char** argv) {
   if (protocols.empty())
     for (const auto& p : proto::correct_protocols())
       protocols.push_back(p->name());
+
+  if (cfg.flight_capacity > 0) {
+    std::signal(SIGSEGV, flight_signal_handler);
+    std::signal(SIGABRT, flight_signal_handler);
+  }
 
   int violations = 0;
   for (const auto& name : protocols) {
@@ -128,11 +184,23 @@ int main(int argc, char** argv) {
                 << " -> " << cex.minimized.rules.size() << " after "
                 << cex.shrink_steps << " shrink step(s)\n";
       auto spec = chaos::make_repro(*protocol, cex, cfg);
-      std::string path =
-          out_dir + "/chaos-" + name + "-" + std::to_string(i) + ".repro.json";
+      std::string base =
+          out_dir + "/chaos-" + name + "-" + std::to_string(i);
+      std::string path = base + ".repro.json";
       std::ofstream out(path);
       out << spec.dump() << "\n";
       std::cout << "    repro written to " << path << "\n";
+      if (!cex.flight.empty()) {
+        std::string reason = chaos::violation_class_str(cex.cls) + ": " +
+                             cex.detail;
+        std::string dump = obs::export_flight_jsonl(cex.flight, reason);
+        std::string fpath = base + ".flight.json";
+        std::ofstream fout(fpath);
+        fout << dump;
+        std::cout << "    flight tail (" << cex.flight.size()
+                  << " events) written to " << fpath << "\n";
+        refresh_crash_dump(out_dir + "/chaos-crash.flight.json", dump);
+      }
     }
   }
   std::cout << (violations == 0 ? "no violations found\n" : "") << std::flush;

@@ -29,6 +29,17 @@
 //                                           discs.counters.v1 JSON file
 //     counters --diff <runA> <runB>         compare two counter dumps,
 //                                           printing only changed families
+//     timeline <file>                       render a discs.metrics.v1
+//                                           timeline (sampled by rt runs /
+//                                           bench_rt --metrics-out): per-
+//                                           counter activity sparklines,
+//                                           final gauges/histograms, and
+//                                           per-shard breakdowns
+//     timeline --diff <runA> <runB>         compare the final samples of
+//                                           two metrics timelines
+//     flight <file>                         pretty-print a discs.flight.v1
+//                                           dump (chaos_lab, rt flight
+//                                           recorder)
 //
 //   Live-run commands (the original debugging lens; also the default when
 //   the first argument is a protocol name):
@@ -49,8 +60,10 @@
 #include "consistency/checkers.h"
 #include "impossibility/induction.h"
 #include "impossibility/scenarios.h"
+#include "obs/flight.h"
 #include "obs/histogram.h"
 #include "obs/json.h"
+#include "obs/metrics_io.h"
 #include "obs/registry.h"
 #include "obs/span_dag.h"
 #include "obs/trace_io.h"
@@ -84,6 +97,9 @@ int usage() {
       "  trace_explorer hist <file>\n"
       "  trace_explorer counters <protocol> <scenario> [--robust] [--out F]\n"
       "  trace_explorer counters --diff <runA> <runB>\n"
+      "  trace_explorer timeline <file>\n"
+      "  trace_explorer timeline --diff <runA> <runB>\n"
+      "  trace_explorer flight <file>\n"
       "  trace_explorer run [protocol] [scenario]\n"
       "exportable scenarios: " << join(obs::exportable_scenarios(), " | ")
       << "\nrun scenarios: quickread | chase | fracture | lag | induction\n"
@@ -499,6 +515,188 @@ int cmd_counters_diff(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
+// --- timeline / flight ----------------------------------------------------
+
+std::optional<obs::MetricsSeries> load_series(const std::string& path) {
+  auto text = read_file(path);
+  if (!text) return std::nullopt;
+  try {
+    return obs::import_metrics_jsonl(*text);
+  } catch (const CheckFailure& e) {
+    std::cerr << path << ": " << e.what() << "\n";
+    return std::nullopt;
+  }
+}
+
+// ASCII activity strip: one glyph per interval, scaled to the busiest one.
+std::string sparkline(const std::vector<std::uint64_t>& vals) {
+  static constexpr char kLevels[] = ".:-=+*#%@";  // 9 nonzero levels
+  std::uint64_t mx = 0;
+  for (auto v : vals) mx = std::max(mx, v);
+  std::string out;
+  out.reserve(vals.size());
+  for (auto v : vals)
+    out += v == 0 ? ' '
+                  : kLevels[static_cast<std::size_t>(
+                        8.0 * static_cast<double>(v) /
+                        static_cast<double>(mx))];
+  return out;
+}
+
+// Buckets a long interval series down to `width` glyphs (sums per bucket)
+// so a long-running timeline still fits one terminal row.
+std::vector<std::uint64_t> downsample(const std::vector<std::uint64_t>& vals,
+                                      std::size_t width) {
+  if (vals.size() <= width) return vals;
+  std::vector<std::uint64_t> out(width, 0);
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    out[i * width / vals.size()] += vals[i];
+  return out;
+}
+
+int cmd_timeline(const std::string& path) {
+  auto series = load_series(path);
+  if (!series) return 1;
+  std::cout << "source:  " << series->source << "\n"
+            << "samples: " << series->samples.size();
+  if (!series->samples.empty())
+    std::cout << ", " << series->samples.front().at_us << ".."
+              << series->samples.back().at_us << " us";
+  std::cout << "\n";
+  if (series->samples.empty()) return 0;
+  const auto& last = series->samples.back();
+
+  // Counters: per-interval growth (counters are monotone across samples —
+  // each sample is a full snapshot, so adjacent differences are activity).
+  std::set<std::string> names;
+  for (const auto& s : series->samples)
+    for (const auto& [n, v] : s.counters) names.insert(n);
+  auto counter_at = [](const obs::MetricsSample& s, const std::string& n) {
+    auto it = s.counters.find(n);
+    return it == s.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"counter", "activity", "final", "delta"});
+  for (const auto& n : names) {
+    std::vector<std::uint64_t> deltas;
+    for (std::size_t i = 1; i < series->samples.size(); ++i) {
+      std::uint64_t prev = counter_at(series->samples[i - 1], n);
+      std::uint64_t cur = counter_at(series->samples[i], n);
+      deltas.push_back(cur >= prev ? cur - prev : 0);
+    }
+    if (deltas.empty()) deltas.push_back(counter_at(series->samples[0], n));
+    std::uint64_t first = counter_at(series->samples.front(), n);
+    std::uint64_t final = counter_at(last, n);
+    rows.push_back({n, sparkline(downsample(deltas, 48)), cat(final),
+                    cat("+", final - std::min(first, final))});
+  }
+  if (rows.size() > 1) std::cout << "\n" << ascii_table(rows);
+
+  if (!last.gauges.empty()) {
+    std::cout << "\ngauges (final sample):\n";
+    for (const auto& [n, v] : last.gauges)
+      std::cout << "  " << pad(n, 28) << " " << v << "\n";
+  }
+  if (!last.hists.empty()) {
+    std::vector<std::vector<std::string>> hrows;
+    hrows.push_back({"histogram", "count", "p50", "p95", "p99", "max"});
+    for (const auto& [n, h] : last.hists)
+      hrows.push_back({n, cat(h.count), cat(h.p50), cat(h.p95), cat(h.p99),
+                       cat(h.max)});
+    std::cout << "\n" << ascii_table(hrows);
+  }
+  if (!last.shards.empty()) {
+    std::cout << "\nper-shard (final sample):\n";
+    for (const auto& [n, vals] : last.shards)
+      std::cout << "  " << pad(n, 28) << " ["
+                << join(vals, " ", [](std::uint64_t v) { return cat(v); })
+                << "]\n";
+  }
+  return 0;
+}
+
+int cmd_timeline_diff(const std::string& path_a, const std::string& path_b) {
+  auto a = load_series(path_a);
+  if (!a) return 1;
+  auto b = load_series(path_b);
+  if (!b) return 1;
+  std::cout << "A: " << a->source << ", " << a->samples.size()
+            << " sample(s)\nB: " << b->source << ", " << b->samples.size()
+            << " sample(s)\n";
+  obs::MetricsSample fa =
+      a->samples.empty() ? obs::MetricsSample{} : a->samples.back();
+  obs::MetricsSample fb =
+      b->samples.empty() ? obs::MetricsSample{} : b->samples.back();
+
+  // Same contract as `counters --diff`: only changed families, and a
+  // family present on one side only is a difference even at value 0.
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"counter", "A", "B", "delta"});
+  std::set<std::string> names;
+  for (const auto& [n, v] : fa.counters) names.insert(n);
+  for (const auto& [n, v] : fb.counters) names.insert(n);
+  for (const auto& n : names) {
+    auto ia = fa.counters.find(n);
+    auto ib = fb.counters.find(n);
+    std::uint64_t va = ia == fa.counters.end() ? 0 : ia->second;
+    std::uint64_t vb = ib == fb.counters.end() ? 0 : ib->second;
+    if (va == vb) {
+      if (ia != fa.counters.end() && ib != fb.counters.end()) continue;
+      if (ia == fa.counters.end() && ib == fb.counters.end()) continue;
+      rows.push_back({n, ia == fa.counters.end() ? "-" : cat(va),
+                      ib == fb.counters.end() ? "-" : cat(vb),
+                      ib == fb.counters.end() ? "gone" : "new"});
+      continue;
+    }
+    rows.push_back({n, cat(va), cat(vb),
+                    vb >= va ? cat("+", vb - va) : cat("-", va - vb)});
+  }
+  if (rows.size() == 1) {
+    std::cout << "no counter differences in the final samples\n";
+    return 0;
+  }
+  std::cout << ascii_table(rows);
+  return 0;
+}
+
+int cmd_flight(const std::string& path) {
+  auto text = read_file(path);
+  if (!text) return 1;
+  try {
+    std::istringstream in(*text);
+    std::string line;
+    std::size_t shown = 0;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      obs::Json j = obs::Json::parse(line);
+      const std::string rec = j.get("record").as_string();
+      if (rec == "header") {
+        DISCS_CHECK_MSG(j.get("schema").as_string() == obs::kFlightSchema,
+                        "not a discs.flight.v1 dump");
+        std::cout << "reason: " << j.get("reason").as_string() << "\n"
+                  << j.get("events").as_uint() << " event(s), oldest first:\n";
+        continue;
+      }
+      DISCS_CHECK_MSG(rec == "flight", "unexpected record '" << rec << "'");
+      obs::FlightEvent e = obs::flight_event_from_json(j);
+      std::cout << "  #" << e.seq << " " << pad(e.kind, 10) << " "
+                << to_string(ProcessId(e.process));
+      if (e.kind == "step")
+        std::cout << " consumed=" << e.consumed << " sent=" << e.sent;
+      else if (e.kind != "crash" && e.kind != "restart")
+        std::cout << " " << to_string(MsgId(e.msg_id)) << " <- "
+                  << to_string(ProcessId(e.src)) << " [" << e.payload << "]";
+      std::cout << "\n";
+      ++shown;
+    }
+    std::cout << "(" << shown << " shown)\n";
+  } catch (const CheckFailure& e) {
+    std::cerr << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 // --- live-run commands (the original explorer) ----------------------------
 
 int quickread(const proto::Protocol& protocol) {
@@ -652,6 +850,16 @@ int main(int argc, char** argv) {
     }
     if (rest.size() != 2) return usage();
     return cmd_counters(rest[0], rest[1], robust, out_path);
+  }
+  if (cmd == "timeline") {
+    if (args.size() == 4 && args[1] == "--diff")
+      return cmd_timeline_diff(args[2], args[3]);
+    if (args.size() != 2) return usage();
+    return cmd_timeline(args[1]);
+  }
+  if (cmd == "flight") {
+    if (args.size() != 2) return usage();
+    return cmd_flight(args[1]);
   }
   if (cmd == "run") {
     return cmd_run(args.size() > 1 ? args[1] : "cops-snow",

@@ -92,8 +92,14 @@ FaultPlan random_plan(std::uint64_t campaign_seed, std::size_t index,
 RunOutcome run_once(const Protocol& proto, const FaultPlan& plan,
                     const CampaignConfig& cfg) {
   RunOutcome out;
+  // The simulator outlives the try so the flight recorder can snapshot its
+  // trace tail even when a protocol invariant throws mid-run.
+  sim::Simulation sim;
+  auto snap_flight = [&] {
+    if (cfg.flight_capacity > 0)
+      out.flight = obs::flight_tail(sim.trace().records(), cfg.flight_capacity);
+  };
   try {
-    sim::Simulation sim;
     IdSource ids;
     Cluster cluster = proto.build(sim, cfg.cluster, ids);
     if (cfg.client_retransmit_after > 0)
@@ -112,6 +118,7 @@ RunOutcome run_once(const Protocol& proto, const FaultPlan& plan,
       const auto& v = r.violations.front();
       out.violation = ViolationClass::kSafety;
       out.detail = cat(v.kind, ": ", v.detail);
+      snap_flight();
       return true;
     };
     if (flag_safety(cons::check_reads_valid(result.history))) return out;
@@ -133,6 +140,7 @@ RunOutcome run_once(const Protocol& proto, const FaultPlan& plan,
       out.violation = ViolationClass::kLiveness;
       out.detail =
           cat(result.incomplete, " workload transaction(s) never completed");
+      snap_flight();
       return out;
     }
     // ... and a fresh write should become visible (audit_progress).
@@ -144,14 +152,17 @@ RunOutcome run_once(const Protocol& proto, const FaultPlan& plan,
       if (report.starved()) {
         out.violation = ViolationClass::kLiveness;
         out.detail = report.detail;
+        snap_flight();
       }
     }
   } catch (const CheckFailure& e) {
     // A protocol invariant blowing up under injected faults is a safety
     // finding, not a harness crash (e.g. a duplicate re-running a 2PC into
-    // a CHECK).  Campaigns must survive it and shrink the plan.
+    // a CHECK).  Campaigns must survive it and shrink the plan.  The trace
+    // tail at the moment of the throw is the flight dump.
     out.violation = ViolationClass::kSafety;
     out.detail = cat("invariant failure: ", e.what());
+    snap_flight();
   }
   return out;
 }
@@ -176,8 +187,10 @@ CampaignResult run_campaign(const Protocol& proto, const CampaignConfig& cfg) {
     cex.original = plan;
     cex.minimized = shrunk.plan;
     cex.cls = out.violation;
-    cex.detail =
-        confirm.violation == out.violation ? confirm.detail : out.detail;
+    const bool confirmed = confirm.violation == out.violation;
+    cex.detail = confirmed ? confirm.detail : out.detail;
+    cex.flight =
+        confirmed ? std::move(confirm.flight) : std::move(out.flight);
     cex.shrink_steps = shrunk.steps;
     result.counterexamples.push_back(std::move(cex));
   }
@@ -211,7 +224,7 @@ obs::Json ReproSpec::to_json() const {
       {"zipf_theta", obs::Json(workload.zipf_theta)},
       {"seed", obs::Json(workload.seed)},
       {"budget_per_tx", obs::Json(std::uint64_t(workload.budget_per_tx))}};
-  return obs::Json(obs::JsonObject{
+  obs::JsonObject doc{
       {"schema", obs::Json(kReproSchema)},
       {"protocol", obs::Json(protocol)},
       {"expected", obs::Json(violation_class_str(expected))},
@@ -219,7 +232,14 @@ obs::Json ReproSpec::to_json() const {
        obs::Json(std::uint64_t(client_retransmit_after))},
       {"cluster", obs::Json(std::move(cl))},
       {"workload", obs::Json(std::move(wl))},
-      {"plan", plan.to_json()}});
+      {"plan", plan.to_json()}};
+  if (!flight.empty()) {
+    obs::JsonArray tail;
+    tail.reserve(flight.size());
+    for (const auto& e : flight) tail.push_back(obs::flight_event_json(e));
+    doc.emplace_back("flight", obs::Json(std::move(tail)));
+  }
+  return obs::Json(std::move(doc));
 }
 
 std::string ReproSpec::dump() const { return to_json().dump(); }
@@ -257,6 +277,11 @@ ReproSpec ReproSpec::from_json(const obs::Json& doc) {
   spec.workload.seed = w.get("seed").as_uint();
   spec.workload.budget_per_tx = w.get("budget_per_tx").as_uint();
   spec.plan = FaultPlan::from_json(doc.get("plan"));
+  // Optional: specs written before the flight recorder omit the field.
+  if (const obs::Json* tail = doc.find("flight")) {
+    for (const auto& e : tail->as_array())
+      spec.flight.push_back(obs::flight_event_from_json(e));
+  }
   return spec;
 }
 
@@ -273,6 +298,7 @@ ReproSpec make_repro(const Protocol& proto, const Counterexample& cex,
   spec.client_retransmit_after = cfg.client_retransmit_after;
   spec.plan = cex.minimized;
   spec.expected = cex.cls;
+  spec.flight = cex.flight;
   return spec;
 }
 

@@ -1,0 +1,109 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace discs::obs {
+
+namespace {
+
+std::string_view kind_str(sim::Event::Kind k) {
+  switch (k) {
+    case sim::Event::Kind::kStep: return "step";
+    case sim::Event::Kind::kDeliver: return "deliver";
+    case sim::Event::Kind::kDrop: return "drop";
+    case sim::Event::Kind::kDuplicate: return "dup";
+    case sim::Event::Kind::kRetransmit: return "retransmit";
+    case sim::Event::Kind::kCrash: return "crash";
+    case sim::Event::Kind::kRestart: return "restart";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FlightEvent flight_from(const sim::EventRecord& rec) {
+  FlightEvent e;
+  e.seq = rec.seq;
+  e.kind = std::string(kind_str(rec.event.kind));
+  switch (rec.event.kind) {
+    case sim::Event::Kind::kStep:
+      e.process = rec.event.process.value();
+      e.consumed = rec.consumed.size();
+      e.sent = rec.sent.size();
+      break;
+    case sim::Event::Kind::kCrash:
+    case sim::Event::Kind::kRestart:
+      e.process = rec.event.process.value();
+      break;
+    default:
+      e.process = rec.delivered.dst.value();
+      e.msg_id = rec.delivered.id.value();
+      e.src = rec.delivered.src.value();
+      if (rec.delivered.payload) e.payload = rec.delivered.payload->kind();
+      break;
+  }
+  return e;
+}
+
+std::vector<FlightEvent> flight_tail(std::span<const sim::EventRecord> records,
+                                     std::size_t capacity) {
+  const std::size_t n = std::min(capacity, records.size());
+  std::vector<FlightEvent> out;
+  out.reserve(n);
+  for (std::size_t i = records.size() - n; i < records.size(); ++i)
+    out.push_back(flight_from(records[i]));
+  return out;
+}
+
+Json flight_event_json(const FlightEvent& e) {
+  JsonObject obj{{"seq", Json(e.seq)},
+                 {"kind", Json(e.kind)},
+                 {"process", Json(e.process)}};
+  if (e.kind == "step") {
+    obj.emplace_back("consumed", Json(e.consumed));
+    obj.emplace_back("sent", Json(e.sent));
+  } else if (e.kind != "crash" && e.kind != "restart") {
+    obj.emplace_back("msg", Json(e.msg_id));
+    obj.emplace_back("src", Json(e.src));
+    obj.emplace_back("payload", Json(e.payload));
+  }
+  return Json(std::move(obj));
+}
+
+FlightEvent flight_event_from_json(const Json& j) {
+  FlightEvent e;
+  e.seq = j.get("seq").as_uint();
+  e.kind = j.get("kind").as_string();
+  e.process = j.get("process").as_uint();
+  if (e.kind == "step") {
+    e.consumed = j.get("consumed").as_uint();
+    e.sent = j.get("sent").as_uint();
+  } else if (e.kind != "crash" && e.kind != "restart") {
+    e.msg_id = j.get("msg").as_uint();
+    e.src = j.get("src").as_uint();
+    e.payload = j.get("payload").as_string();
+  }
+  return e;
+}
+
+std::string export_flight_jsonl(std::span<const FlightEvent> events,
+                                std::string_view reason) {
+  std::string out = Json(JsonObject{{"record", Json("header")},
+                                    {"schema", Json(std::string(kFlightSchema))},
+                                    {"reason", Json(std::string(reason))},
+                                    {"events", Json(std::uint64_t(events.size()))}})
+                        .dump();
+  out += '\n';
+  for (const auto& e : events) {
+    JsonObject obj{{"record", Json("flight")}};
+    Json fields = flight_event_json(e);
+    for (const auto& [k, v] : fields.as_object()) obj.emplace_back(k, v);
+    out += Json(std::move(obj)).dump();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace discs::obs

@@ -1,0 +1,195 @@
+#include "obs/metrics_io.h"
+
+#include <utility>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace discs::obs {
+
+namespace {
+
+HistSummary summarize(const Histogram& h) {
+  HistSummary s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  if (h.count() > 0) {
+    s.p50 = h.p50();
+    s.p95 = h.p95();
+    s.p99 = h.p99();
+  }
+  return s;
+}
+
+Json hist_json(const HistSummary& s) {
+  return Json(JsonObject{{"count", Json(s.count)},
+                         {"sum", Json(s.sum)},
+                         {"min", Json(s.min)},
+                         {"max", Json(s.max)},
+                         {"p50", Json(s.p50)},
+                         {"p95", Json(s.p95)},
+                         {"p99", Json(s.p99)}});
+}
+
+HistSummary hist_from_json(const Json& j) {
+  HistSummary s;
+  s.count = j.get("count").as_uint();
+  s.sum = j.get("sum").as_uint();
+  s.min = j.get("min").as_uint();
+  s.max = j.get("max").as_uint();
+  s.p50 = j.get("p50").as_double();
+  s.p95 = j.get("p95").as_double();
+  s.p99 = j.get("p99").as_double();
+  return s;
+}
+
+}  // namespace
+
+MetricsSample sample_registry(const Registry& reg, std::uint64_t at_us) {
+  MetricsSample s;
+  s.at_us = at_us;
+  s.counters = reg.counters();
+  s.gauges = reg.gauges();
+  for (const auto& [name, h] : reg.histograms())
+    s.hists.emplace(name, summarize(h));
+  return s;
+}
+
+std::string metrics_header_line(const MetricsSeries& series) {
+  return Json(JsonObject{{"record", Json("header")},
+                         {"schema", Json(series.schema)},
+                         {"source", Json(series.source)}})
+      .dump();
+}
+
+std::string metrics_sample_line(const MetricsSample& sample) {
+  JsonObject counters, gauges, hists;
+  for (const auto& [name, v] : sample.counters)
+    counters.emplace_back(name, Json(v));
+  for (const auto& [name, v] : sample.gauges) gauges.emplace_back(name, Json(v));
+  for (const auto& [name, h] : sample.hists)
+    hists.emplace_back(name, hist_json(h));
+  JsonObject obj{{"record", Json("sample")},
+                 {"at_us", Json(sample.at_us)},
+                 {"counters", Json(std::move(counters))},
+                 {"gauges", Json(std::move(gauges))},
+                 {"hists", Json(std::move(hists))}};
+  // Shard breakdowns are optional fields: emitted only when present, so
+  // hub-less samples (chaos timelines) keep minimal lines.
+  if (!sample.shards.empty()) {
+    JsonObject shards;
+    for (const auto& [family, values] : sample.shards) {
+      JsonArray a;
+      for (auto v : values) a.push_back(Json(v));
+      shards.emplace_back(family, Json(std::move(a)));
+    }
+    obj.emplace_back("shards", Json(std::move(shards)));
+  }
+  return Json(std::move(obj)).dump();
+}
+
+std::string export_metrics_jsonl(const MetricsSeries& series) {
+  std::string out = metrics_header_line(series);
+  out += '\n';
+  for (const auto& s : series.samples) {
+    out += metrics_sample_line(s);
+    out += '\n';
+  }
+  return out;
+}
+
+MetricsSeries import_metrics_jsonl(std::string_view text) {
+  MetricsSeries series;
+  bool saw_header = false;
+  std::uint64_t prev_at = 0;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    std::size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
+    ++line_no;
+    if (line.empty()) continue;
+    Json j = Json::parse(line);
+    const std::string& record = j.get("record").as_string();
+    if (record == "header") {
+      DISCS_CHECK_MSG(!saw_header, "metrics: duplicate header (line "
+                                       << line_no << ")");
+      saw_header = true;
+      series.schema = j.get("schema").as_string();
+      DISCS_CHECK_MSG(series.schema == kMetricsSchema,
+                      "metrics: unknown schema '" << series.schema << "'");
+      series.source = j.get("source").as_string();
+    } else if (record == "sample") {
+      DISCS_CHECK_MSG(saw_header, "metrics: sample before header (line "
+                                      << line_no << ")");
+      MetricsSample s;
+      s.at_us = j.get("at_us").as_uint();
+      DISCS_CHECK_MSG(series.samples.empty() || s.at_us >= prev_at,
+                      "metrics: non-monotone sample time (line " << line_no
+                                                                 << ")");
+      prev_at = s.at_us;
+      for (const auto& [name, v] : j.get("counters").as_object())
+        s.counters.emplace(name, v.as_uint());
+      for (const auto& [name, v] : j.get("gauges").as_object())
+        s.gauges.emplace(name, v.as_double());
+      for (const auto& [name, v] : j.get("hists").as_object())
+        s.hists.emplace(name, hist_from_json(v));
+      if (const Json* shards = j.find("shards"))
+        for (const auto& [family, values] : shards->as_object()) {
+          std::vector<std::uint64_t> vs;
+          for (const auto& v : values.as_array()) vs.push_back(v.as_uint());
+          s.shards.emplace(family, std::move(vs));
+        }
+      series.samples.push_back(std::move(s));
+    } else {
+      DISCS_CHECK_MSG(false, "metrics: unknown record '" << record
+                                                         << "' (line "
+                                                         << line_no << ")");
+    }
+  }
+  DISCS_CHECK_MSG(saw_header, "metrics: missing header");
+  return series;
+}
+
+MetricsHub::MetricsHub(std::size_t slots) {
+  slots_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i)
+    slots_.push_back(std::make_unique<Slot>());
+}
+
+void MetricsHub::fold(std::size_t slot, const Registry& reg) {
+  Slot& s = *slots_[slot];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.reg = reg;
+}
+
+MetricsSample MetricsHub::sample(
+    std::uint64_t at_us, std::span<const std::string_view> shard_families) {
+  scratch_.reset();
+  std::vector<std::vector<std::uint64_t>> shard_vals(
+      shard_families.size(),
+      std::vector<std::uint64_t>(slots_.size(), 0));
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = *slots_[i];
+    std::lock_guard<std::mutex> lock(s.mu);
+    scratch_.absorb(s.reg);
+    for (std::size_t j = 0; j < shard_families.size(); ++j)
+      shard_vals[j][i] = s.reg.value(shard_families[j]);
+  }
+  MetricsSample out = sample_registry(scratch_, at_us);
+  // Drop all-zero shard rows: a family no slot has touched yet is not a
+  // measurement, and its absence keeps early samples compact.
+  for (std::size_t j = 0; j < shard_families.size(); ++j) {
+    bool any = false;
+    for (auto v : shard_vals[j]) any |= v != 0;
+    if (any)
+      out.shards.emplace(std::string(shard_families[j]),
+                         std::move(shard_vals[j]));
+  }
+  return out;
+}
+
+}  // namespace discs::obs

@@ -1,0 +1,132 @@
+// discs.metrics.v1 — JSONL metrics timelines, and the sampler's fold point.
+//
+// The registry (obs/registry.h) answers "what happened" after a run; a
+// timeline answers "when".  A metrics artifact is line-oriented JSON:
+//
+//   header   {"record":"header","schema":"discs.metrics.v1","source":...}
+//   sample   one registry snapshot per line — counters (exact u64), gauges,
+//            histogram summaries, and optional per-shard breakdowns of hot
+//            counter families
+//
+// There is deliberately no footer: a timeline is an append-forever stream,
+// so a crash or SIGKILL mid-run leaves a valid parseable prefix — which is
+// the whole point of sampling while the run is alive.  Serialization is
+// deterministic (obs/json.h dumps shortest-round-trip doubles), so
+// import + re-export is byte-identical; tests pin that.
+//
+// MetricsHub is the concurrency boundary between engine threads and the
+// sampler thread.  Registry itself is thread-local and unsynchronized —
+// absorb() may only read a registry whose owner is quiescent (the
+// ThreadPool::run_batch join is the canonical safe point).  The hub makes
+// *live* sampling safe without ever touching another thread's registry:
+// each engine thread periodically folds a copy of its own registry into
+// its hub slot under that slot's mutex, and the sampler aggregates the
+// slots under the same mutexes.  Neither side reads memory the other is
+// mutating; the price is that a sample lags each thread by its fold
+// cadence, which is the honest semantics of sampling anyway.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace discs::obs {
+
+inline constexpr std::string_view kMetricsSchema = "discs.metrics.v1";
+
+/// Deterministic summary of one histogram at sample time.  Percentiles are
+/// bucket representatives (obs/histogram.h), so they round-trip exactly.
+struct HistSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+
+  friend bool operator==(const HistSummary&, const HistSummary&) = default;
+};
+
+/// One registry snapshot at a point in time.
+struct MetricsSample {
+  /// Clock micros for rt timelines; virtual positions (event counts, run
+  /// indices) for simulator timelines.  Monotone within a series.
+  std::uint64_t at_us = 0;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistSummary> hists;
+  /// Per-shard values of hot counter families: family name -> one value per
+  /// registry shard (rt: per engine thread).  Present only when sampled
+  /// through a MetricsHub with shard families configured.
+  std::map<std::string, std::vector<std::uint64_t>> shards;
+
+  friend bool operator==(const MetricsSample&, const MetricsSample&) = default;
+};
+
+/// A timeline: the parsed/parseable form of one metrics JSONL artifact.
+struct MetricsSeries {
+  std::string schema{kMetricsSchema};
+  std::string source;  ///< e.g. "rt:cops:w4" or "chaos:mixed"
+  std::vector<MetricsSample> samples;
+
+  friend bool operator==(const MetricsSeries&, const MetricsSeries&) = default;
+};
+
+/// Snapshots `reg` (all counters, gauges and histograms) at `at_us`.
+MetricsSample sample_registry(const Registry& reg, std::uint64_t at_us);
+
+/// One canonical JSONL line (no trailing newline) — the incremental units
+/// of the artifact.  export_metrics_jsonl is exactly header_line + '\n' +
+/// sample_line per sample + '\n', so live appends and batch export are
+/// byte-identical.
+std::string metrics_header_line(const MetricsSeries& series);
+std::string metrics_sample_line(const MetricsSample& sample);
+
+/// Serializes the whole series to JSONL (deterministic bytes).
+std::string export_metrics_jsonl(const MetricsSeries& series);
+
+/// Strict parser; throws CheckFailure on malformed input or an unknown
+/// schema.  Accepts a header-only stream (zero samples) — a run may be
+/// sampled before its first cadence tick fires.
+MetricsSeries import_metrics_jsonl(std::string_view text);
+
+/// The engine-threads/sampler fold point described in the header comment.
+class MetricsHub {
+ public:
+  explicit MetricsHub(std::size_t slots);
+
+  /// Called by the thread owning `slot`: replaces the slot's snapshot with
+  /// a copy of `reg`.  Full values, not deltas — each fold overwrites the
+  /// previous one, so aggregation never double-counts.
+  void fold(std::size_t slot, const Registry& reg);
+
+  /// One sample over the latest fold of every slot: counters and histograms
+  /// sum across slots, gauges take the last slot that set them, and each
+  /// name in `shard_families` gets a per-slot value vector.  Each slot is
+  /// locked exactly once, so the sample is per-slot-consistent.  Non-const
+  /// because it aggregates into a reused scratch registry (reset() keeps
+  /// nodes, so steady-state sampling is allocation-light) — call it from
+  /// one thread only, the sampler.
+  MetricsSample sample(std::uint64_t at_us,
+                       std::span<const std::string_view> shard_families);
+
+  std::size_t slots() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    Registry reg;
+  };
+  std::vector<std::unique_ptr<Slot>> slots_;
+  Registry scratch_;  ///< sampler-thread-only aggregation scratch
+};
+
+}  // namespace discs::obs

@@ -1,0 +1,68 @@
+// Bounded ring buffer — the flight recorder's storage primitive.
+//
+// A Ring<T> keeps the most recent `capacity` pushed values and forgets the
+// rest: push() overwrites the oldest entry once full, snapshot() returns
+// the retained values oldest-first.  Single-writer by design (each rt
+// engine thread owns its own ring, exactly like its ThreadSink); readers
+// snapshot after the writer has quiesced.  No allocation after the first
+// `capacity` pushes, so it is safe on hot paths that must stay
+// allocation-free in steady state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace discs::obs {
+
+template <typename T>
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity) : capacity_(capacity) {
+    DISCS_CHECK_MSG(capacity > 0, "ring: capacity must be positive");
+    buf_.reserve(capacity);
+  }
+
+  /// Appends `v`, evicting the oldest retained value once full.
+  void push(T v) {
+    if (buf_.size() < capacity_) {
+      buf_.push_back(std::move(v));
+    } else {
+      buf_[head_] = std::move(v);
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++pushed_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  /// Values currently retained (<= capacity).
+  std::size_t size() const { return buf_.size(); }
+  /// Total pushes over the ring's lifetime, including evicted ones.
+  std::uint64_t pushed() const { return pushed_; }
+  bool empty() const { return buf_.empty(); }
+
+  /// Retained values, oldest first.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(buf_.size());
+    for (std::size_t i = 0; i < buf_.size(); ++i)
+      out.push_back(buf_[(head_ + i) % buf_.size()]);
+    return out;
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+    pushed_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> buf_;
+  std::size_t head_ = 0;  ///< index of the oldest retained value when full
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace discs::obs

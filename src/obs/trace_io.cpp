@@ -69,34 +69,38 @@ void sort_invokes(std::vector<InvokeRecord>& invokes) {
             });
 }
 
+ExportedEvent export_event_record(const sim::EventRecord& rec, bool spans,
+                                  bool& fault) {
+  ExportedEvent e;
+  e.event = rec.event;
+  e.seq = rec.seq;
+  for (const auto& m : rec.consumed)
+    e.consumed.push_back(ExportedMessage::from(m, spans));
+  for (const auto& m : rec.sent)
+    e.sent.push_back(ExportedMessage::from(m, spans));
+  switch (rec.event.kind) {
+    case sim::Event::Kind::kStep:
+      break;
+    case sim::Event::Kind::kDeliver:
+    case sim::Event::Kind::kDrop:
+    case sim::Event::Kind::kDuplicate:
+    case sim::Event::Kind::kRetransmit:
+      e.delivered = ExportedMessage::from(rec.delivered, spans);
+      fault |= rec.event.kind != sim::Event::Kind::kDeliver;
+      break;
+    case sim::Event::Kind::kCrash:
+    case sim::Event::Kind::kRestart:
+      fault = true;
+      break;
+  }
+  return e;
+}
+
 bool export_event_records(std::span<const sim::EventRecord> records,
                           bool spans, TraceDoc& doc) {
   bool any_fault = false;
-  for (const auto& rec : records) {
-    ExportedEvent e;
-    e.event = rec.event;
-    e.seq = rec.seq;
-    for (const auto& m : rec.consumed)
-      e.consumed.push_back(ExportedMessage::from(m, spans));
-    for (const auto& m : rec.sent)
-      e.sent.push_back(ExportedMessage::from(m, spans));
-    switch (rec.event.kind) {
-      case sim::Event::Kind::kStep:
-        break;
-      case sim::Event::Kind::kDeliver:
-      case sim::Event::Kind::kDrop:
-      case sim::Event::Kind::kDuplicate:
-      case sim::Event::Kind::kRetransmit:
-        e.delivered = ExportedMessage::from(rec.delivered, spans);
-        any_fault |= rec.event.kind != sim::Event::Kind::kDeliver;
-        break;
-      case sim::Event::Kind::kCrash:
-      case sim::Event::Kind::kRestart:
-        any_fault = true;
-        break;
-    }
-    doc.events.push_back(std::move(e));
-  }
+  for (const auto& rec : records)
+    doc.events.push_back(export_event_record(rec, spans, any_fault));
   return any_fault;
 }
 
@@ -340,7 +344,9 @@ hist::TxRecord tx_from_json(const Json& j) {
 
 }  // namespace
 
-std::string export_jsonl(const TraceDoc& doc) {
+std::string event_line(const ExportedEvent& e) { return event_json(e).dump(); }
+
+std::string export_prefix_jsonl(const TraceDoc& doc) {
   std::string out;
   out += header_json(doc).dump();
   out += '\n';
@@ -352,10 +358,11 @@ std::string export_jsonl(const TraceDoc& doc) {
                .dump();
     out += '\n';
   }
-  for (const auto& e : doc.events) {
-    out += event_json(e).dump();
-    out += '\n';
-  }
+  return out;
+}
+
+std::string export_suffix_jsonl(const TraceDoc& doc, std::uint64_t events) {
+  std::string out;
   for (const auto& s : doc.spans) {
     out += Json(JsonObject{{"record", Json("span")},
                            {"kind", Json(std::string(span_kind_str(s.kind)))},
@@ -371,10 +378,20 @@ std::string export_jsonl(const TraceDoc& doc) {
     out += '\n';
   }
   out += Json(JsonObject{{"record", Json("footer")},
-                         {"events", Json(std::uint64_t(doc.events.size()))},
+                         {"events", Json(events)},
                          {"final_digest", Json(doc.final_digest)}})
              .dump();
   out += '\n';
+  return out;
+}
+
+std::string export_jsonl(const TraceDoc& doc) {
+  std::string out = export_prefix_jsonl(doc);
+  for (const auto& e : doc.events) {
+    out += event_line(e);
+    out += '\n';
+  }
+  out += export_suffix_jsonl(doc, doc.events.size());
   return out;
 }
 

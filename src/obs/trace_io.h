@@ -132,6 +132,19 @@ TraceDoc make_doc(const proto::Protocol& protocol, std::string scenario,
 bool export_event_records(std::span<const sim::EventRecord> records,
                           bool spans, TraceDoc& doc);
 
+/// The per-record unit of export_event_records: converts one live record
+/// (message metadata included; cause annotations when `spans`) and ORs the
+/// schema decision into `fault`.  The streaming writer
+/// (obs/trace_stream.h) converts records one at a time as the merge
+/// frontier advances instead of over a complete span.
+ExportedEvent export_event_record(const sim::EventRecord& rec, bool spans,
+                                  bool& fault);
+
+/// One canonical JSONL line (no trailing newline) for an exported event —
+/// exactly the bytes export_jsonl writes for it.  export_jsonl itself is
+/// built on this, so incremental and batch serialization cannot drift.
+std::string event_line(const ExportedEvent& e);
+
 /// Sorts invokes into the canonical artifact order: by (at, tx id).  The
 /// exporters apply this before serialization so equal captures are
 /// byte-equal regardless of collection order.
@@ -139,6 +152,20 @@ void sort_invokes(std::vector<InvokeRecord>& invokes);
 
 /// Serializes to JSONL (one JSON object per line, deterministic bytes).
 std::string export_jsonl(const TraceDoc& doc);
+
+/// The artifact split at the event stream, for writers that hold the event
+/// lines somewhere else (the streaming writer spools them to disk as the
+/// run executes):
+///
+///   export_jsonl(doc) == export_prefix_jsonl(doc)        // header+invokes
+///                        + one event_line(e) + '\n' per event
+///                        + export_suffix_jsonl(doc, doc.events.size())
+///
+/// The suffix takes the event count explicitly because the assembling
+/// doc's `events` vector is empty in the streaming case — the count lives
+/// in the footer and must match the spooled lines.
+std::string export_prefix_jsonl(const TraceDoc& doc);
+std::string export_suffix_jsonl(const TraceDoc& doc, std::uint64_t events);
 
 /// Strict parser; throws CheckFailure on malformed input or an unknown
 /// schema version.

@@ -1,0 +1,73 @@
+// Streaming trace writer — incremental discs.trace.v2 export with the
+// batch exporter's exact bytes.
+//
+// The finalize-only capture path buffers every EventRecord until the run
+// ends.  This writer instead accepts records one at a time, in seq order,
+// as a merge frontier advances (rt's streaming merger, or any single
+// producer), and keeps memory bounded by what is NOT yet expressible
+// incrementally:
+//
+//   - each appended record is serialized immediately (obs::event_line) and
+//     flushed to a side "spool" file `<path>.spool` — raw event JSONL you
+//     can tail while the run is alive;
+//   - finish() assembles the canonical artifact at `path`: header +
+//     invokes (export_prefix_jsonl) + the spooled event lines + history +
+//     footer (export_suffix_jsonl), then removes the spool.
+//
+// The header's v1-vs-v2 schema decision is retroactive — it depends on
+// whether any fault event ever streamed — which is exactly why the
+// artifact cannot be written front-to-back live and the spool exists.
+// Because prefix/event/suffix serialization is shared with export_jsonl,
+// the assembled file is byte-identical to export_jsonl of the equivalent
+// fully-buffered TraceDoc; tests/test_rt.cpp pins this per protocol.
+//
+// Not thread-safe: one writer, one appending thread (rt's merger thread).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "obs/trace_io.h"
+
+namespace discs::obs {
+
+class TraceStreamWriter {
+ public:
+  /// Opens `<path>.spool` for the live event stream; throws CheckFailure
+  /// if the spool cannot be created.
+  explicit TraceStreamWriter(std::string path);
+  /// Removes the spool if finish() was never reached (abandoned run).
+  ~TraceStreamWriter();
+
+  TraceStreamWriter(const TraceStreamWriter&) = delete;
+  TraceStreamWriter& operator=(const TraceStreamWriter&) = delete;
+
+  /// Appends one record.  Records must arrive in seq order with no gaps —
+  /// rec.seq == events() — which is what a frontier merge produces by
+  /// construction; anything else is a capture bug and CHECK-fails.
+  void append(const sim::EventRecord& rec);
+
+  /// Records appended so far == the next expected seq.
+  std::uint64_t events() const { return events_; }
+  /// True once any fault event streamed — the v1-vs-v2 schema decision.
+  bool any_fault() const { return any_fault_; }
+  const std::string& path() const { return path_; }
+
+  /// Assembles the final artifact at path() from the spooled event lines
+  /// plus everything else in `doc` — whose `events` vector is ignored (the
+  /// spool is the event stream) and whose `schema` is overwritten with
+  /// this stream's v1/v2 decision.  Removes the spool.  Call exactly once,
+  /// after the last append.
+  void finish(TraceDoc doc);
+
+ private:
+  std::string path_;
+  std::string spool_path_;
+  std::ofstream spool_;
+  std::uint64_t events_ = 0;
+  bool any_fault_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace discs::obs

@@ -17,7 +17,12 @@
 // Trace capture: a global atomic sequence counter assigns every event
 // (deliver / step / drop) its position as it happens; per-thread sinks
 // collect EventRecords and the finalizer merges them by sequence number
-// into a discs.trace.v2-compatible TraceDoc.  Because a drained batch is
+// into a discs.trace.v2-compatible TraceDoc.  With Options::stream_path
+// the same merge happens *live*: every engine thread publishes each step's
+// records as one seq-sorted batch and a merger thread advances the global
+// frontier, emitting records incrementally through obs::TraceStreamWriter
+// — byte-identical artifact, memory bounded by inter-thread skew instead
+// of run length.  Because a drained batch is
 // delivered in enqueue-ticket order and the step claims the sequence range
 // atomically with its deliveries, the captured artifact satisfies the
 // simulator's event model exactly — obs::replay_doc re-executes it
@@ -29,7 +34,9 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/flight.h"
 #include "obs/histogram.h"
+#include "obs/metrics_io.h"
 #include "obs/trace_io.h"
 #include "proto/common/cluster.h"
 #include "rt/clock.h"
@@ -68,6 +75,27 @@ struct Options {
   /// (recorded as a kDrop event, schema v2).  Called from engine threads
   /// concurrently — must be thread-safe.
   std::function<bool(const sim::Message&)> drop_filter;
+  /// Streaming trace export: when non-empty, a merger thread follows the
+  /// global sequence frontier *while the run executes*, appending each
+  /// event record to `<stream_path>.spool` the moment every earlier seq
+  /// has been emitted, and assembles the canonical artifact at
+  /// `stream_path` during finalize (obs/trace_stream.h).  Byte-identical
+  /// to export_jsonl(RunReport::doc); independent of `capture` — with
+  /// capture off the streamed file is the run's only full record, and the
+  /// engine buffers only the inter-thread seq skew, not the whole trace.
+  std::string stream_path;
+  /// Metrics sampling cadence in Options::clock microseconds (0 = off):
+  /// a sampler thread aggregates every engine thread's registry shard
+  /// through an obs::MetricsHub on this period and appends
+  /// discs.metrics.v1 samples to RunReport::metrics — and live to
+  /// `metrics_path` when non-empty.  docs/OBSERVABILITY.md discusses
+  /// cadence choice and the fold/aggregate thread-safety contract.
+  std::uint64_t metrics_interval_us = 0;
+  std::string metrics_path;
+  /// Flight recorder: per-engine-thread ring capacity (0 = off).  Rings
+  /// remember compact event identities even with capture off;
+  /// RunReport::flight carries the merged tails.
+  std::size_t flight_capacity = 0;
 };
 
 struct RunReport {
@@ -81,6 +109,12 @@ struct RunReport {
   obs::Histogram latency_us;
   double wall_seconds = 0;
   std::size_t threads_used = 0;  ///< workers + submitters
+  /// Sampled timeline (Options::metrics_interval_us); always ends with one
+  /// final sample taken after the engine threads joined.
+  obs::MetricsSeries metrics;
+  /// Merged per-thread ring tails (Options::flight_capacity), sorted by
+  /// seq — the most recent events each engine thread saw.
+  std::vector<obs::FlightEvent> flight;
 };
 
 /// Builds the cluster (proto::Protocol::build on a bootstrap simulation,

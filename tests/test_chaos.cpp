@@ -17,6 +17,7 @@ namespace discs {
 namespace {
 
 using chaos::CampaignConfig;
+using chaos::Counterexample;
 using chaos::ReproSpec;
 using chaos::ViolationClass;
 using fault::FaultPlan;
@@ -94,6 +95,37 @@ TEST(ReproSpecTest, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(back.plan, spec.plan);
 }
 
+TEST(ReproSpecTest, FlightFieldRoundTripsAndStaysOptional) {
+  ReproSpec spec;
+  spec.protocol = "cops";
+  spec.expected = ViolationClass::kSafety;
+  // No flight: the field is omitted entirely, so pre-flight specs and
+  // fresh ones serialize identically.
+  EXPECT_EQ(spec.dump().find("\"flight\""), std::string::npos);
+  ReproSpec no_flight = ReproSpec::parse(spec.dump());
+  EXPECT_TRUE(no_flight.flight.empty());
+
+  obs::FlightEvent step;
+  step.seq = 41;
+  step.kind = "step";
+  step.process = 2;
+  step.consumed = 1;
+  step.sent = 3;
+  obs::FlightEvent deliver;
+  deliver.seq = 42;
+  deliver.kind = "deliver";
+  deliver.process = 1;
+  deliver.msg_id = 7;
+  deliver.src = 0;
+  deliver.payload = "RotReply";
+  spec.flight = {step, deliver};
+  ReproSpec back = ReproSpec::parse(spec.dump());
+  EXPECT_EQ(back.dump(), spec.dump());
+  ASSERT_EQ(back.flight.size(), 2u);
+  EXPECT_EQ(back.flight[0], step);
+  EXPECT_EQ(back.flight[1], deliver);
+}
+
 TEST(ReproSpecTest, ParseRejectsWrongSchema) {
   ReproSpec spec;
   spec.protocol = "cops";
@@ -158,6 +190,37 @@ TEST(ReproFixture, MinimizedCounterexampleStillReproduces) {
   EXPECT_EQ(outcome.violation, spec.expected)
       << "the pinned known-bad configuration stopped reproducing: "
       << outcome.detail;
+}
+
+TEST(ReproFixture, ViolationAttachesFlightTail) {
+  std::ifstream in(fixture_path());
+  ASSERT_TRUE(in.good()) << "missing fixture " << fixture_path();
+  std::ostringstream text;
+  text << in.rdbuf();
+  ReproSpec spec = ReproSpec::parse(text.str());
+  // The committed fixture predates the flight recorder — and still parses.
+  EXPECT_TRUE(spec.flight.empty());
+
+  // Re-running it records the trace tail at the violation (default
+  // CampaignConfig::flight_capacity), seq-ordered and bounded.
+  auto outcome = chaos::run_repro(spec);
+  ASSERT_EQ(outcome.violation, spec.expected) << outcome.detail;
+  ASSERT_FALSE(outcome.flight.empty());
+  EXPECT_LE(outcome.flight.size(), CampaignConfig{}.flight_capacity);
+  for (std::size_t i = 1; i < outcome.flight.size(); ++i)
+    EXPECT_LT(outcome.flight[i - 1].seq, outcome.flight[i].seq);
+  // A refreshed spec carries the tail through serialization.
+  Counterexample cex;
+  cex.minimized = spec.plan;
+  cex.cls = outcome.violation;
+  cex.flight = outcome.flight;
+  CampaignConfig cfg;
+  cfg.cluster = spec.cluster;
+  cfg.workload = spec.workload;
+  auto proto = proto::protocol_by_name(spec.protocol);
+  ReproSpec refreshed = chaos::make_repro(*proto, cex, cfg);
+  ReproSpec back = ReproSpec::parse(refreshed.dump());
+  EXPECT_EQ(back.flight, outcome.flight);
 }
 
 TEST(ReproFixture, DurableJournalFixesTheCounterexample) {

@@ -8,7 +8,9 @@
 
 #include "consistency/checkers.h"
 #include "obs/json.h"
+#include "obs/metrics_io.h"
 #include "obs/registry.h"
+#include "obs/ring.h"
 #include "obs/trace_io.h"
 #include "proto/registry.h"
 
@@ -253,6 +255,117 @@ TEST(TraceIo, UnknownScenarioThrows) {
   proto::ClusterConfig cfg;
   EXPECT_THROW(obs::capture_scenario(*protocol, "no-such-scenario", cfg),
                CheckFailure);
+}
+
+// --- Ring ------------------------------------------------------------------
+
+TEST(Ring, RetainsTheMostRecentCapacityValues) {
+  obs::Ring<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 3; ++i) ring.push(i);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{0, 1, 2}));
+  for (int i = 3; i < 11; ++i) ring.push(i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 11u);
+  // Oldest-first window over the last 4 pushes, across two wraparounds.
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{7, 8, 9, 10}));
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.snapshot(), std::vector<int>{});
+}
+
+TEST(Ring, RejectsZeroCapacity) {
+  EXPECT_THROW(obs::Ring<int>(0), CheckFailure);
+}
+
+// --- metrics timelines -----------------------------------------------------
+
+obs::MetricsSeries sample_series() {
+  obs::Registry reg;
+  reg.inc("a.count", 3);
+  reg.set_gauge("b.gauge", 1.5);
+  reg.histogram("c.hist").record(7);
+  reg.histogram("c.hist").record(11);
+  obs::MetricsSeries s;
+  s.source = "test:unit";
+  s.samples.push_back(obs::sample_registry(reg, 100));
+  reg.inc("a.count", 2);
+  s.samples.push_back(obs::sample_registry(reg, 250));
+  s.samples.back().shards["a.count"] = {2, 3};
+  return s;
+}
+
+TEST(MetricsIo, ExportImportIsByteIdentical) {
+  obs::MetricsSeries s = sample_series();
+  std::string bytes = obs::export_metrics_jsonl(s);
+  obs::MetricsSeries back = obs::import_metrics_jsonl(bytes);
+  EXPECT_EQ(back, s);
+  // Round-trip is byte-stable: serialize-the-import reproduces the input.
+  EXPECT_EQ(obs::export_metrics_jsonl(back), bytes);
+  // Incremental identity: the artifact is exactly header + sample lines.
+  std::string inc = obs::metrics_header_line(s) + "\n";
+  for (const auto& smp : s.samples)
+    inc += obs::metrics_sample_line(smp) + "\n";
+  EXPECT_EQ(inc, bytes);
+}
+
+TEST(MetricsIo, SampleCapturesCountersGaugesAndHistograms) {
+  obs::MetricsSeries s = sample_series();
+  const obs::MetricsSample& last = s.samples.back();
+  EXPECT_EQ(last.at_us, 250u);
+  EXPECT_EQ(last.counters.at("a.count"), 5u);
+  EXPECT_DOUBLE_EQ(last.gauges.at("b.gauge"), 1.5);
+  EXPECT_EQ(last.hists.at("c.hist").count, 2u);
+  EXPECT_EQ(last.hists.at("c.hist").sum, 18u);
+  EXPECT_EQ(last.hists.at("c.hist").max, 11u);
+}
+
+TEST(MetricsIo, ImportAcceptsHeaderOnlyAndRejectsGarbage) {
+  obs::MetricsSeries empty;
+  empty.source = "test:empty";
+  obs::MetricsSeries back =
+      obs::import_metrics_jsonl(obs::export_metrics_jsonl(empty));
+  EXPECT_EQ(back.samples.size(), 0u);
+  EXPECT_EQ(back.source, "test:empty");
+
+  EXPECT_THROW(obs::import_metrics_jsonl("not json\n"), CheckFailure);
+  EXPECT_THROW(obs::import_metrics_jsonl(
+                   "{\"record\":\"header\",\"schema\":\"discs.metrics.v9\","
+                   "\"source\":\"x\"}\n"),
+               CheckFailure);
+  // Non-monotone at_us is rejected.
+  obs::MetricsSeries bad = sample_series();
+  std::swap(bad.samples[0], bad.samples[1]);
+  bad.samples[1].shards.clear();
+  EXPECT_THROW(obs::import_metrics_jsonl(obs::export_metrics_jsonl(bad)),
+               CheckFailure);
+}
+
+TEST(MetricsHub, FoldsOverwriteAndSamplesAggregate) {
+  obs::MetricsHub hub(2);
+  obs::Registry r0, r1;
+  r0.inc("rt.steps", 10);
+  r1.inc("rt.steps", 4);
+  r1.set_gauge("g", 2.0);
+  hub.fold(0, r0);
+  hub.fold(1, r1);
+  const std::string_view fams[] = {"rt.steps"};
+  obs::MetricsSample s1 = hub.sample(5, fams);
+  EXPECT_EQ(s1.counters.at("rt.steps"), 14u);
+  EXPECT_DOUBLE_EQ(s1.gauges.at("g"), 2.0);
+  EXPECT_EQ(s1.shards.at("rt.steps"), (std::vector<std::uint64_t>{10, 4}));
+
+  // A re-fold replaces the slot snapshot (full values, not deltas): the
+  // aggregate moves to the new totals, never double-counts.
+  r0.inc("rt.steps", 1);
+  hub.fold(0, r0);
+  obs::MetricsSample s2 = hub.sample(6, fams);
+  EXPECT_EQ(s2.counters.at("rt.steps"), 15u);
+
+  // All-zero shard rows are dropped.
+  obs::MetricsSample s3 = hub.sample(7, {});
+  EXPECT_TRUE(s3.shards.empty());
 }
 
 }  // namespace
